@@ -1,0 +1,301 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation,
+// plus ablations of the tuner's design choices (DESIGN.md section 5). Each
+// benchmark iteration performs one full experiment at the small dataset
+// scale so `go test -bench=.` completes in minutes; use cmd/misobench
+// -scale paper for the paper-scale regeneration recorded in EXPERIMENTS.md.
+// The reported metrics include the simulated TTI per variant
+// (simulated-TTI-s custom units), so benchmark output doubles as a compact
+// record of the experiment shapes.
+package main
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/experiments"
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+func benchConfig() experiments.Config { return experiments.Small() }
+
+// runVariantOnce executes the full workload on one variant and returns its
+// metrics; helper for ablation benches.
+func runVariantOnce(b *testing.B, cfg multistore.Config, dcfg data.Config) multistore.Metrics {
+	b.Helper()
+	cat, err := data.Generate(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cfg.Tuner.Bh == 0 {
+		cfg.SetBudgets(cat, 2.0, 10<<30)
+	}
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range workload.Evolving() {
+		if _, err := sys.Run(q.SQL); err != nil {
+			b.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+	return sys.Metrics()
+}
+
+// BenchmarkFig3SplitProfile regenerates Figure 3: the execution-time
+// profile of every split plan for query A1v1.
+func BenchmarkFig3SplitProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(r.Plans)), "plans")
+			b.ReportMetric(r.Plans[0].Total(), "best-plan-simulated-s")
+		}
+	}
+}
+
+// BenchmarkSec32TwoQuery regenerates the Section 3.2 two-query experiment.
+func BenchmarkSec32TwoQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sec32(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t := r.Totals[multistore.VariantMSMiso]
+			b.ReportMetric(t[0]+t[1]+t[2], "miso-simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkFig4Variants regenerates Figure 4: the five-variant TTI
+// comparison (and the data behind Figure 5).
+func BenchmarkFig4Variants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.TTI(multistore.VariantHVOnly), "hvonly-simulated-TTI-s")
+			b.ReportMetric(r.TTI(multistore.VariantMSMiso), "miso-simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkFig5TTICDF regenerates Figure 5 from a fresh Figure 4 run.
+func BenchmarkFig5TTICDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			row := r.DistributionRow(r.Base.Outcome(multistore.VariantMSMiso))
+			b.ReportMetric(row[1], "miso-pct-under-100s")
+		}
+	}
+}
+
+// BenchmarkFig6StoreUtilization regenerates Figure 6: per-query store
+// utilization under MS-BASIC and MS-MISO at two budgets.
+func BenchmarkFig6StoreUtilization(b *testing.B) {
+	names := make([]string, 0, 32)
+	for _, q := range workload.Evolving() {
+		names = append(names, q.Name)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchConfig(), names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Series[2].SecondsInHVPerDWSecond, "miso2x-hv-per-dw-s")
+		}
+	}
+}
+
+// BenchmarkFig7TuningTechniques regenerates Figure 7: the tuning technique
+// comparison under constrained budgets.
+func BenchmarkFig7TuningTechniques(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.TTI(multistore.VariantMSLru), "lru-simulated-TTI-s")
+			b.ReportMetric(r.TTI(multistore.VariantMSMiso), "miso-simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkFig8BudgetSweep regenerates Figure 8: TTI across view storage
+// budgets 0.125x..4x for MS-LRU, MS-OFF and MS-MISO.
+func BenchmarkFig8BudgetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tt := r.TTIs[multistore.VariantMSMiso]
+			b.ReportMetric(tt[0], "miso-0.125x-simulated-TTI-s")
+			b.ReportMetric(tt[len(tt)-1], "miso-4x-simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkFig9SpareCapacity regenerates Figure 9: the MS-MISO run against
+// a DW with 40% spare IO capacity.
+func BenchmarkFig9SpareCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Outcome.BgSlowdownPct, "bg-slowdown-pct")
+		}
+	}
+}
+
+// BenchmarkTable2MutualImpact regenerates Table 2: mutual slowdown across
+// the four spare-capacity configurations.
+func BenchmarkTable2MutualImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Rows[0].DWSlowdownPct, "io40-dw-slowdown-pct")
+			b.ReportMetric(r.Rows[0].MSSlowdownPct, "io40-ms-slowdown-pct")
+		}
+	}
+}
+
+// --- Ablations of the tuner's design choices ---
+
+// BenchmarkAblationKnapsackOrder packs HV before DW, reversing the paper's
+// DW-first heuristic.
+func BenchmarkAblationKnapsackOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		cfg.Tuner.HVFirst = true
+		m := runVariantOnce(b, cfg, data.SmallConfig())
+		if i == 0 {
+			b.ReportMetric(m.TTI(), "simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkAblationNoSparsify disables interaction analysis: every view is
+// an independent knapsack item.
+func BenchmarkAblationNoSparsify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		cfg.Tuner.SkipSparsify = true
+		m := runVariantOnce(b, cfg, data.SmallConfig())
+		if i == 0 {
+			b.ReportMetric(m.TTI(), "simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkAblationNoDecay weights the whole window uniformly instead of
+// decaying older epochs.
+func BenchmarkAblationNoDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		cfg.Decay = 1.0
+		m := runVariantOnce(b, cfg, data.SmallConfig())
+		if i == 0 {
+			b.ReportMetric(m.TTI(), "simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkAblationReplication relaxes Vh ∩ Vd = ∅, letting DW-placed views
+// also stay in HV.
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		cfg.Tuner.AllowReplication = true
+		m := runVariantOnce(b, cfg, data.SmallConfig())
+		if i == 0 {
+			b.ReportMetric(m.TTI(), "simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is MS-MISO with every knob at the paper's
+// setting, for comparison against the ablations above.
+func BenchmarkAblationBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		m := runVariantOnce(b, cfg, data.SmallConfig())
+		if i == 0 {
+			b.ReportMetric(m.TTI(), "simulated-TTI-s")
+		}
+	}
+}
+
+// BenchmarkAblationTransferBudget sweeps Bt, the Section 6 trade-off: a
+// larger budget moves more per reorganization but costs more tuning time.
+// At the small dataset scale the workload's views are tens to hundreds of
+// MB, so budgets from 64 MB to 10 GB cover "binding" through "unbounded".
+func BenchmarkAblationTransferBudget(b *testing.B) {
+	for _, bt := range []int64{64 << 20, 512 << 20, 10 << 30} {
+		bt := bt
+		b.Run(byteLabel(bt), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cat, err := data.Generate(data.SmallConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+				cfg.SetBudgets(cat, 2.0, bt)
+				sys := multistore.New(cfg, cat)
+				for _, q := range workload.Evolving() {
+					if _, err := sys.Run(q.SQL); err != nil {
+						b.Fatalf("%s: %v", q.Name, err)
+					}
+				}
+				if i == 0 {
+					m := sys.Metrics()
+					b.ReportMetric(m.TTI(), "simulated-TTI-s")
+					b.ReportMetric(m.Tune, "tune-simulated-s")
+				}
+			}
+		})
+	}
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return itoa(n>>30) + "GB"
+	case n >= 1<<20:
+		return itoa(n>>20) + "MB"
+	default:
+		return itoa(n) + "B"
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,64 @@
+// Command datagen emits the synthetic social-media logs as JSON-lines
+// files, one per log, into the output directory.
+//
+// Usage:
+//
+//	datagen -out ./logs -tweets 20000 -checkins 20000 -seed 42
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"miso/internal/data"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	tweets := flag.Int("tweets", 20000, "number of tweet records")
+	checkins := flag.Int("checkins", 20000, "number of check-in records")
+	marks := flag.Int("landmarks", 1200, "number of landmark records")
+	users := flag.Int("users", 2500, "user id space")
+	venues := flag.Int("venues", 800, "venue id space")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	cfg := data.Config{
+		Seed: *seed, NumTweets: *tweets, NumCheck: *checkins, NumMarks: *marks,
+		NumUsers: *users, NumVenues: *venues, ScaleFactor: 1,
+	}
+	cat, err := data.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range cat.LogNames() {
+		log, err := cat.Log(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		for _, line := range log.Lines {
+			fmt.Fprintln(w, line)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records, %d bytes)\n", path, log.NumLines(), log.RawBytes())
+	}
+}

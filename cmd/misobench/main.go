@@ -1,0 +1,151 @@
+// Command misobench regenerates the tables and figures of the paper's
+// evaluation section. Each -fig/-table flag maps to one experiment; -all
+// runs everything in order. Use -scale small for a quick pass.
+//
+// Usage:
+//
+//	misobench -fig 4            # Figure 4 (five-variant TTI comparison)
+//	misobench -fig 3.2          # the Section 3.2 two-query experiment
+//	misobench -table 2          # Table 2 (mutual impact)
+//	misobench -all -scale small # everything, quickly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"miso/internal/experiments"
+	"miso/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 3, 3.2, 4, 5, 6, 7, 8, 9, or 'order' (extension)")
+	table := flag.String("table", "", "table to regenerate: 2")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	scale := flag.String("scale", "paper", "dataset scale: paper or small")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *scale == "small" {
+		cfg = experiments.Small()
+	}
+
+	targets := map[string]bool{}
+	if *all {
+		for _, t := range []string{"3", "3.2", "4", "5", "6", "7", "8", "9", "t2", "order"} {
+			targets[t] = true
+		}
+	}
+	if *fig != "" {
+		targets[*fig] = true
+	}
+	if *table == "2" {
+		targets["t2"] = true
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if !targets[name] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s wall clock]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var fig4 *experiments.Fig4Result
+
+	run("3", func() error {
+		r, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("3.2", func() error {
+		r, err := experiments.Sec32(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("4", func() error {
+		r, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fig4 = r
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("5", func() error {
+		r, err := experiments.Fig5(cfg, fig4)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("6", func() error {
+		names := make([]string, 0, 32)
+		for _, q := range workload.Evolving() {
+			names = append(names, q.Name)
+		}
+		r, err := experiments.Fig6(cfg, names)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("7", func() error {
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("8", func() error {
+		r, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("9", func() error {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("t2", func() error {
+		r, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("order", func() error {
+		r, err := experiments.OrderSensitivity(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+}

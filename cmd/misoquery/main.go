@@ -1,0 +1,128 @@
+// Command misoquery runs ad-hoc HiveQL against a multistore instance. The
+// query executes for real over the synthetic logs; the report shows where
+// the plan ran (HV, DW, transfers), the simulated time breakdown, and the
+// first rows of the result.
+//
+// Usage:
+//
+//	misoquery -sql "SELECT hashtag, COUNT(*) AS n FROM tweets GROUP BY hashtag ORDER BY n DESC LIMIT 5"
+//	misoquery -name A1v1 -variant MS-MISO -warm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"miso/internal/logical"
+	"miso/internal/workload"
+	"miso/miso"
+)
+
+func main() {
+	sql := flag.String("sql", "", "HiveQL query to run")
+	name := flag.String("name", "", "workload query id to run instead (e.g. A1v1)")
+	variant := flag.String("variant", string(miso.MSMiso), "system variant")
+	scale := flag.String("scale", "small", "dataset scale: paper or small")
+	warm := flag.Bool("warm", false, "run the preceding workload queries first (warms views)")
+	maxRows := flag.Int("rows", 10, "max result rows to print")
+	explain := flag.Bool("explain", false, "print the chosen multistore plan before running")
+	flag.Parse()
+
+	query := *sql
+	if *name != "" {
+		q, ok := workload.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload query %q\n", *name)
+			os.Exit(2)
+		}
+		query = q.SQL
+	}
+	if query == "" {
+		fmt.Fprintln(os.Stderr, "pass -sql or -name (see -h)")
+		os.Exit(2)
+	}
+
+	dataCfg := miso.SmallData()
+	if *scale == "paper" {
+		dataCfg = miso.DefaultData()
+	}
+	sys, err := miso.Open(miso.DefaultConfig(miso.Variant(*variant)), dataCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *warm && *name != "" {
+		for _, q := range workload.Evolving() {
+			if q.Name == *name {
+				break
+			}
+			if _, err := sys.Run(q.SQL); err != nil {
+				fmt.Fprintf(os.Stderr, "warmup %s: %v\n", q.Name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *explain {
+		plan, err := logical.NewBuilder(sys.Catalog()).BuildSQL(query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mp, err := sys.Optimizer().Choose(plan, sys.Design())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(mp.Explain())
+		fmt.Println()
+	}
+
+	rep, err := sys.Run(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := "split execution"
+	switch {
+	case rep.HVOnly:
+		mode = "executed entirely in HV"
+	case rep.BypassedHV:
+		mode = "executed entirely in DW (bypassed HV)"
+	}
+	fmt.Printf("%s\n", mode)
+	fmt.Printf("simulated time: HV %.1fs + transfer %.1fs + DW %.1fs = %.1fs\n",
+		rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds, rep.Total())
+	if len(rep.UsedViews) > 0 {
+		fmt.Printf("views used: %v\n", rep.UsedViews)
+	}
+	fmt.Printf("opportunistic views created: %d\n", rep.NewViews)
+	fmt.Printf("%d result rows\n", rep.ResultRows)
+
+	if rep.Result != nil {
+		fmt.Println()
+		for _, c := range rep.Result.Schema.Columns {
+			fmt.Printf("%-18s", c.Name)
+		}
+		fmt.Println()
+		n := rep.Result.NumRows()
+		if n > *maxRows {
+			n = *maxRows
+		}
+		for _, row := range rep.Result.Rows[:n] {
+			for _, v := range row {
+				fmt.Printf("%-18s", v.String())
+			}
+			fmt.Println()
+		}
+		if rep.Result.NumRows() > n {
+			fmt.Printf("... (%d more rows)\n", rep.Result.NumRows()-n)
+		}
+	}
+}

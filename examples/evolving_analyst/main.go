@@ -1,0 +1,55 @@
+// Evolving analyst: replay one analyst's full session (the four versions of
+// workload query A1) through the MS-MISO system and show how the tuner's
+// reorganization phases migrate views into the warehouse until the final
+// version bypasses the big data store entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"miso/internal/workload"
+	"miso/miso"
+)
+
+func main() {
+	cfg := miso.DefaultConfig(miso.MSMiso)
+	// Reorganize after every query so the effect is visible within one
+	// short session (the paper reorganizes every 3 queries of 32).
+	cfg.ReorgEvery = 1
+	sys, err := miso.Open(cfg, miso.SmallData())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("analyst A1 iterates on a restaurant-marketing query:")
+	for _, name := range []string{"A1v1", "A1v2", "A1v3", "A1v4"} {
+		q, _ := workload.ByName(name)
+		rep, err := sys.Run(q.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		mode := "split across HV and DW"
+		switch {
+		case rep.HVOnly:
+			mode = "ran fully in HV"
+		case rep.BypassedHV:
+			mode = "ran fully in DW — bypassed HV"
+		}
+		fmt.Printf("  %s: %7.0f s  (%s; %d views reused)\n",
+			name, rep.Total(), mode, len(rep.UsedViews))
+	}
+
+	fmt.Println("\nreorganization phases:")
+	for _, r := range sys.ReorgLog() {
+		fmt.Printf("  before query %d: %d views -> DW, %d -> HV, %d dropped (%.1f GB moved, %.0f s)\n",
+			r.BeforeSeq+1, r.MovedToDW, r.MovedToHV, r.Dropped,
+			float64(r.Bytes)/1e9, r.Seconds)
+	}
+
+	fmt.Printf("\nfinal design: HV holds %d views, DW holds %d views\n",
+		sys.HV().Views.Len(), sys.DW().Views.Len())
+	m := sys.Metrics()
+	fmt.Printf("session TTI %.0f s = HV %.0f + DW %.0f + transfer %.0f + tuning %.0f\n",
+		m.TTI(), m.HVExe, m.DWExe, m.Transfer, m.Tune)
+}

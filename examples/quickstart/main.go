@@ -1,0 +1,54 @@
+// Quickstart: open a multistore system, run two related exploratory
+// queries, and watch the second one reuse the opportunistic views the
+// first one left behind.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"miso/miso"
+)
+
+func main() {
+	sys, err := miso.Open(miso.DefaultConfig(miso.MSMiso), miso.SmallData())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An analyst's first exploratory query: which hashtags trend among
+	// highly retweeted English tweets in early January 2013?
+	q1 := `
+		SELECT t.hashtag, COUNT(*) AS n, AVG(t.retweets) AS reach
+		FROM tweets t
+		WHERE t.lang = 'en' AND t.retweets > 100
+		      AND t.ts >= 1356998400 AND t.ts < 1357257600
+		GROUP BY t.hashtag ORDER BY n DESC LIMIT 5`
+
+	// The refined follow-up adds a popularity floor per hashtag.
+	q2 := `
+		SELECT t.hashtag, COUNT(*) AS n, AVG(t.retweets) AS reach
+		FROM tweets t
+		WHERE t.lang = 'en' AND t.retweets > 100 AND t.followers > 5000
+		      AND t.ts >= 1356998400 AND t.ts < 1357257600
+		GROUP BY t.hashtag ORDER BY n DESC LIMIT 5`
+
+	for i, q := range []string{q1, q2} {
+		rep, err := sys.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: %.0f simulated seconds "+
+			"(HV %.0fs, transfer %.0fs, DW %.0fs), %d views reused, %d created\n",
+			i+1, rep.Total(), rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds,
+			len(rep.UsedViews), rep.NewViews)
+		for _, row := range rep.Result.Rows {
+			fmt.Printf("  %-10s n=%-5s reach=%s\n", row[0].String(), row[1].String(), row[2].String())
+		}
+	}
+
+	m := sys.Metrics()
+	fmt.Printf("\nsession TTI: %.0f simulated seconds (%d queries)\n", m.TTI(), m.Queries)
+	fmt.Printf("HV now holds %d opportunistic views (%.1f GB logical)\n",
+		sys.HV().Views.Len(), float64(sys.HV().Views.TotalBytes())/1e9)
+}

@@ -1,0 +1,50 @@
+// Tuning policies: run the same workload under four placement policies —
+// no tuning, passive LRU retention, the MISO online tuner, and the oracle
+// that knows the future — and compare their time-to-insight. This is a
+// compact version of the paper's Figure 7 under constrained budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"miso/internal/workload"
+	"miso/miso"
+)
+
+func main() {
+	variants := []miso.Variant{miso.MSBasic, miso.MSLru, miso.MSMiso, miso.MSOra}
+	fmt.Printf("%-9s %10s %10s %10s %10s %12s\n",
+		"policy", "HV(s)", "DW(s)", "xfer(s)", "tune(s)", "TTI(s)")
+
+	var baseline float64
+	for _, v := range variants {
+		cfg := miso.DefaultConfig(v)
+		sys, err := miso.Open(cfg, miso.SmallData())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Constrained budgets, as in the paper's tuning comparison.
+		cfg.SetBudgets(sys.Catalog(), 0.125, 10<<30)
+		sys, err = miso.Open(cfg, miso.SmallData())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+			log.Fatal(err)
+		}
+		for _, q := range workload.Evolving() {
+			if _, err := sys.Run(q.SQL); err != nil {
+				log.Fatalf("%s %s: %v", v, q.Name, err)
+			}
+		}
+		m := sys.Metrics()
+		fmt.Printf("%-9s %10.0f %10.0f %10.0f %10.0f %12.0f\n",
+			v, m.HVExe, m.DWExe, m.Transfer, m.Tune, m.TTI())
+		if v == miso.MSBasic {
+			baseline = m.TTI()
+		} else if baseline > 0 {
+			fmt.Printf("%9s -> %.2fx faster than no tuning\n", "", baseline/m.TTI())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module miso
+
+go 1.22

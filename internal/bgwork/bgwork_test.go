@@ -1,0 +1,105 @@
+package bgwork_test
+
+import (
+	"testing"
+
+	"miso/internal/bgwork"
+	"miso/internal/data"
+	"miso/internal/dw"
+	"miso/internal/stats"
+)
+
+func load(t *testing.T) (*bgwork.Workload, *dw.Store) {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimator(cat)
+	store := dw.NewStore(dw.DefaultConfig(), est)
+	w, err := bgwork.Load(bgwork.DefaultConfig(), store, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, store
+}
+
+func TestLoadInstallsTables(t *testing.T) {
+	_, store := load(t)
+	for _, name := range []string{bgwork.StoreSales, bgwork.DateDim, bgwork.ItemDim} {
+		if _, ok := store.Views.Get(name); !ok {
+			t.Errorf("table %s not installed", name)
+		}
+	}
+}
+
+func TestQ3ProducesYearlyRevenue(t *testing.T) {
+	w, store := load(t)
+	p, err := w.Q3Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("q3 returned nothing")
+	}
+	// One row per year with positive revenue.
+	seen := map[int64]bool{}
+	for _, r := range res.Table.Rows {
+		if seen[r[0].I] {
+			t.Errorf("duplicate year %d", r[0].I)
+		}
+		seen[r[0].I] = true
+		if r[1].F <= 0 {
+			t.Errorf("year %d: revenue %v", r[0].I, r[1])
+		}
+	}
+}
+
+func TestQ83GroupsByBrandAndMonth(t *testing.T) {
+	w, store := load(t)
+	p, err := w.Q83Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("q83 returned nothing")
+	}
+	if got := res.Table.Schema.Names(); got[0] != "i_brand" || got[1] != "d_moy" {
+		t.Errorf("schema = %v", got)
+	}
+}
+
+func TestMeasuredLatencyProfiles(t *testing.T) {
+	w, _ := load(t)
+	q3, q83, err := w.MeasureLatencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 <= 0 || q83 <= 0 {
+		t.Fatalf("latencies %v %v", q3, q83)
+	}
+	// The three-way expression-heavy query costs at least as much as the
+	// two-way scan query.
+	if q83 < q3 {
+		t.Errorf("q83 (%.3fs) cheaper than q3 (%.3fs)", q83, q3)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cat, _ := data.Generate(data.SmallConfig())
+	est := stats.NewEstimator(cat)
+	store := dw.NewStore(dw.DefaultConfig(), est)
+	bad := bgwork.DefaultConfig()
+	bad.Sales = 0
+	if _, err := bgwork.Load(bad, store, est); err == nil {
+		t.Error("zero sales accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/dw"
+	"miso/internal/history"
+	"miso/internal/hv"
+	"miso/internal/logical"
+	"miso/internal/optimizer"
+	"miso/internal/stats"
+	"miso/internal/transfer"
+	"miso/internal/workload"
+)
+
+// BenchmarkTunerReorganization measures one full reorganization decision —
+// benefits, interactions, sparsification, and both knapsacks — over a
+// 6-query window with a realistic view universe. The paper's claim is that
+// tuning is lightweight relative to query execution; this quantifies the
+// computational side of that claim.
+func BenchmarkTunerReorganization(b *testing.B) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := stats.NewEstimator(cat)
+	h := hv.NewStore(hv.DefaultConfig(), cat, est)
+	d := dw.NewStore(dw.DefaultConfig(), est)
+	opt := optimizer.New(h, d, est, transfer.DefaultConfig())
+	builder := logical.NewBuilder(cat)
+	win := history.NewWindow(6, 3, 0.5)
+	for i, q := range workload.Evolving()[:6] {
+		plan, err := builder.BuildSQL(q.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Execute(plan, i); err != nil {
+			b.Fatal(err)
+		}
+		win.Add(history.Entry{Seq: i, SQL: q.SQL, Plan: plan})
+	}
+	cfg := DefaultConfig()
+	base := cat.TotalLogicalBytes()
+	cfg.Bh, cfg.Bd, cfg.Bt = 2*base, 2*base/10, 10<<30
+	cur := optimizer.Design{HV: h.Views, DW: d.Views}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh tuner per iteration: the cost cache is part of the
+		// work being measured.
+		tuner := NewTuner(cfg, opt)
+		if _, err := tuner.Tune(cur, win); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(h.Views.Len()), "candidate-views")
+}
+
+// BenchmarkKnapsackPacking isolates the DP itself at a realistic size.
+func BenchmarkKnapsackPacking(b *testing.B) {
+	gb := int64(1) << 30
+	items := make([]*Item, 48)
+	for i := range items {
+		size := int64(i%13+1) * gb / 4
+		items[i] = item(size, size, float64(100+i*7%91))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packKnapsack(items, 400*gb, 10*gb, 0, dwDims)
+	}
+}

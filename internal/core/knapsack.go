@@ -1,0 +1,104 @@
+package core
+
+// packKnapsack solves the 0-1 multidimensional knapsack of the paper's
+// M-KNAPSACK step via dynamic programming over discretized capacities. The
+// two dimensions are the store's view storage budget and the reorganization
+// transfer budget; dims returns an item's transfer consumption and benefit
+// for the store being packed (Case 1 of the recurrence is an item with
+// nonzero transfer need; Case 2 consumes storage only). Items that do not
+// fit either dimension, or have no benefit, are skipped.
+func packKnapsack(items []*Item, storageCap, xferCap, d int64,
+	dims func(*Item) (int64, float64)) []*Item {
+
+	// Discretization: an explicit d (the paper's 1 GB) applies to both
+	// dimensions; otherwise each dimension picks a budget-relative unit
+	// so small budgets keep enough resolution and huge budgets keep the
+	// DP table small.
+	da, db := d, d
+	if d <= 0 {
+		da = clampUnit(storageCap / 512)
+		db = clampUnit(xferCap / 64)
+	}
+	ca := int(storageCap / da)
+	cb := int(xferCap / db)
+	if ca < 0 {
+		ca = 0
+	}
+	if cb < 0 {
+		cb = 0
+	}
+	width := cb + 1
+	cells := (ca + 1) * width
+
+	type weighted struct {
+		item   *Item
+		wa, wb int
+		bn     float64
+	}
+	var cands []weighted
+	for _, it := range items {
+		move, bn := dims(it)
+		if bn <= 0 {
+			continue
+		}
+		w := weighted{item: it, wa: ceilDiv(it.Size, da), wb: ceilDiv(move, db), bn: bn}
+		if w.wa > ca || w.wb > cb {
+			continue
+		}
+		cands = append(cands, w)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Layered DP so the chosen set can be reconstructed exactly.
+	layers := make([][]float64, len(cands)+1)
+	layers[0] = make([]float64, cells)
+	for i, w := range cands {
+		prev := layers[i]
+		cur := make([]float64, cells)
+		copy(cur, prev)
+		for a := w.wa; a <= ca; a++ {
+			rowPrev := (a - w.wa) * width
+			row := a * width
+			for b := w.wb; b <= cb; b++ {
+				if v := prev[rowPrev+b-w.wb] + w.bn; v > cur[row+b] {
+					cur[row+b] = v
+				}
+			}
+		}
+		layers[i+1] = cur
+	}
+
+	// Reconstruct from the full-capacity cell.
+	var chosen []*Item
+	a, b := ca, cb
+	for i := len(cands); i > 0; i-- {
+		w := cands[i-1]
+		if layers[i][a*width+b] != layers[i-1][a*width+b] {
+			chosen = append(chosen, w.item)
+			a -= w.wa
+			b -= w.wb
+		}
+	}
+	return chosen
+}
+
+func ceilDiv(n, d int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((n + d - 1) / d)
+}
+
+// clampUnit bounds a discretization unit to [1 MB, 1 GB].
+func clampUnit(u int64) int64 {
+	const mb, gb = 1 << 20, 1 << 30
+	if u < mb {
+		return mb
+	}
+	if u > gb {
+		return gb
+	}
+	return u
+}

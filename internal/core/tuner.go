@@ -1,0 +1,376 @@
+// Package core implements the MISO tuner (Algorithm 1 of the paper): at
+// each reorganization phase it analyzes the recent query window, computes
+// epoch-decayed predicted benefits for every opportunistic view, groups
+// views into interacting sets via the signed degree of interaction (doi),
+// sparsifies each set (merging strongly positive interactions into single
+// knapsack items and keeping one representative among strongly negative
+// ones), and then packs two multidimensional 0-1 knapsacks in sequence —
+// DW first with dimensions (Bd, Bt), then HV with (Bh, remaining Bt) — to
+// produce the new multistore design with Vh ∩ Vd = ∅.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"miso/internal/history"
+	"miso/internal/logical"
+	"miso/internal/optimizer"
+	"miso/internal/views"
+)
+
+// Config holds the tuner's constraints and knobs.
+type Config struct {
+	// Bh, Bd are the view storage budgets in (logical) bytes.
+	Bh, Bd int64
+	// Bt is the per-reorganization view transfer budget in bytes.
+	Bt int64
+	// DiscretizeBytes is the knapsack discretization factor d (1 GB in
+	// the paper's complexity analysis).
+	DiscretizeBytes int64
+	// DoiThresholdFrac scales the interaction threshold: a pair of views
+	// interacts only when |doi| is at least this fraction of the weaker
+	// view's own predicted benefit.
+	DoiThresholdFrac float64
+	// MaxPartSize bounds interacting-set size (the paper keeps parts
+	// small, around 4).
+	MaxPartSize int
+	// MovePenaltyPerByteDW / MovePenaltyPerByteHV charge each candidate
+	// the time its placement would spend moving data (seconds per byte),
+	// so a view is only placed when its predicted benefit exceeds the
+	// cost of moving it. Zero disables netting.
+	MovePenaltyPerByteDW float64
+	MovePenaltyPerByteHV float64
+
+	// Ablation knobs (all default off = the paper's design).
+
+	// HVFirst reverses the knapsack order: pack HV before DW. The paper
+	// packs DW first because it is the store whose design matters most.
+	HVFirst bool
+	// SkipSparsify disables interaction analysis: every view is an
+	// independent knapsack item.
+	SkipSparsify bool
+	// AllowReplication relaxes Vh ∩ Vd = ∅: views placed in DW remain
+	// candidates for HV.
+	AllowReplication bool
+	// ReserveReturnFrac reserves this fraction of Bt for the second
+	// phase's transfers (the paper's §4.4 alternative to letting the
+	// first phase consume the whole budget). Zero is the paper's default
+	// heuristic.
+	ReserveReturnFrac float64
+}
+
+// DefaultConfig returns paper-like tuning knobs (budgets must still be set
+// by the caller).
+func DefaultConfig() Config {
+	return Config{
+		DiscretizeBytes:  0, // auto: budget-relative per dimension
+		DoiThresholdFrac: 0.5,
+		MaxPartSize:      4,
+	}
+}
+
+// Tuner computes new multistore designs.
+type Tuner struct {
+	cfg Config
+	opt *optimizer.Optimizer
+
+	costCache map[string]float64
+
+	// Debug, when set, receives the knapsack candidates and the chosen
+	// DW/HV items after each Tune call (used by tests and diagnostics).
+	Debug func(items, dwChosen, hvChosen []*Item)
+}
+
+// NewTuner creates a tuner using the optimizer's what-if interface.
+func NewTuner(cfg Config, opt *optimizer.Optimizer) *Tuner {
+	if cfg.MaxPartSize <= 0 {
+		cfg.MaxPartSize = 4
+	}
+	return &Tuner{cfg: cfg, opt: opt, costCache: map[string]float64{}}
+}
+
+// Item is one knapsack candidate: a single view or a merged group of
+// positively interacting views.
+type Item struct {
+	Views []*views.View
+	// Size is the total logical bytes of the item.
+	Size int64
+	// MoveToDW / MoveToHV are the bytes that would consume transfer
+	// budget if the item is placed in DW / HV respectively (views already
+	// resident in the target store move for free).
+	MoveToDW, MoveToHV int64
+	// BnDW, BnHV are the predicted future benefits of placing the item
+	// in each store.
+	BnDW, BnHV float64
+}
+
+func (it *Item) names() []string {
+	out := make([]string, len(it.Views))
+	for i, v := range it.Views {
+		out[i] = v.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reorg is the tuner's output: the new design plus the movements needed to
+// realize it from the current design.
+type Reorg struct {
+	NewHV, NewDW *views.Set
+	// MoveToDW are views transferring HV -> DW (loaded into permanent
+	// space, indexed).
+	MoveToDW []*views.View
+	// MoveToHV are views evicted from DW transferring back to HV.
+	MoveToHV []*views.View
+	// DropHV are views discarded from HV (outside the new design).
+	DropHV []*views.View
+	// TransferBytes is the total bytes moved (consumes Bt).
+	TransferBytes int64
+}
+
+// Tune computes the new multistore design for the recent window.
+func (t *Tuner) Tune(current optimizer.Design, w *history.Window) (*Reorg, error) {
+	all := map[string]*views.View{}
+	inDW := map[string]bool{}
+	for _, v := range current.HV.All() {
+		all[v.Name] = v
+	}
+	for _, v := range current.DW.All() {
+		all[v.Name] = v
+		inDW[v.Name] = true
+	}
+	if len(all) == 0 {
+		return &Reorg{NewHV: views.NewSet(), NewDW: views.NewSet()}, nil
+	}
+	universe := make([]*views.View, 0, len(all))
+	for _, v := range all {
+		universe = append(universe, v)
+	}
+	sort.Slice(universe, func(i, j int) bool { return universe[i].Name < universe[j].Name })
+
+	entries := w.Entries()
+	weights := w.Weights()
+
+	// Per-query relevant views: only those matching some plan node can
+	// have benefit or interactions for that query.
+	relevant := make([][]*views.View, len(entries))
+	for i, e := range entries {
+		for _, v := range universe {
+			if viewRelevant(e.Plan, v) {
+				relevant[i] = append(relevant[i], v)
+			}
+		}
+	}
+
+	// Predicted per-store benefits for each view.
+	bnDW := map[string]float64{}
+	bnHV := map[string]float64{}
+	for i, e := range entries {
+		if len(relevant[i]) == 0 {
+			continue
+		}
+		base := t.cost(e, nil, nil)
+		for _, v := range relevant[i] {
+			bnDW[v.Name] += weights[i] * max0(base-t.cost(e, nil, []*views.View{v}))
+			bnHV[v.Name] += weights[i] * max0(base-t.cost(e, []*views.View{v}, nil))
+		}
+	}
+
+	// Signed degrees of interaction between co-relevant pairs, measured
+	// in DW placement (where the benefit differences are largest).
+	doi := map[[2]string]float64{}
+	for i, e := range entries {
+		rel := relevant[i]
+		if len(rel) < 2 {
+			continue
+		}
+		base := t.cost(e, nil, nil)
+		for a := 0; a < len(rel); a++ {
+			for b := a + 1; b < len(rel); b++ {
+				va, vb := rel[a], rel[b]
+				bA := max0(base - t.cost(e, nil, []*views.View{va}))
+				bB := max0(base - t.cost(e, nil, []*views.View{vb}))
+				bAB := max0(base - t.cost(e, nil, []*views.View{va, vb}))
+				key := pairKey(va.Name, vb.Name)
+				doi[key] += weights[i] * (bAB - bA - bB)
+			}
+		}
+	}
+
+	var items []*Item
+	if t.cfg.SkipSparsify {
+		for _, v := range universe {
+			items = append(items, t.singleton(v, bnDW, bnHV, inDW))
+		}
+	} else {
+		parts := t.computeInteractingSets(universe, doi, bnDW)
+		items = t.sparsifySets(parts, doi, bnDW, bnHV, inDW)
+	}
+
+	dwDims := func(it *Item) (int64, float64) { return it.MoveToDW, it.BnDW }
+	hvDims := func(it *Item) (int64, float64) { return it.MoveToHV, it.BnHV }
+
+	var dwChosen, hvChosen []*Item
+	if t.cfg.HVFirst {
+		// Ablation: pack HV first, DW from the remainder.
+		hvChosen = packKnapsack(items, t.cfg.Bh, t.cfg.Bt, t.cfg.DiscretizeBytes, hvDims)
+		var used int64
+		taken := map[*Item]bool{}
+		for _, it := range hvChosen {
+			taken[it] = true
+			used += it.MoveToHV
+		}
+		rest := items
+		if !t.cfg.AllowReplication {
+			rest = nil
+			for _, it := range items {
+				if !taken[it] {
+					rest = append(rest, it)
+				}
+			}
+		}
+		dwChosen = packKnapsack(rest, t.cfg.Bd, remainingBudget(t.cfg.Bt, used),
+			t.cfg.DiscretizeBytes, dwDims)
+	} else {
+		// Phase 1: pack DW with dimensions (Bd, Bt) — the paper's order,
+		// since DW offers the superior execution performance. An optional
+		// fraction of Bt is held back for the HV phase's return moves.
+		phase1Bt := t.cfg.Bt
+		if f := t.cfg.ReserveReturnFrac; f > 0 && f < 1 {
+			phase1Bt = int64(float64(phase1Bt) * (1 - f))
+		}
+		dwChosen = packKnapsack(items, t.cfg.Bd, phase1Bt, t.cfg.DiscretizeBytes, dwDims)
+		var used int64
+		taken := map[*Item]bool{}
+		for _, it := range dwChosen {
+			taken[it] = true
+			used += it.MoveToDW
+		}
+		// Phase 2: pack HV with dimensions (Bh, remaining Bt).
+		rest := items
+		if !t.cfg.AllowReplication {
+			rest = nil
+			for _, it := range items {
+				if !taken[it] {
+					rest = append(rest, it)
+				}
+			}
+		}
+		hvChosen = packKnapsack(rest, t.cfg.Bh, remainingBudget(t.cfg.Bt, used),
+			t.cfg.DiscretizeBytes, hvDims)
+	}
+	if t.Debug != nil {
+		t.Debug(items, dwChosen, hvChosen)
+	}
+	newDW := views.NewSet()
+	for _, it := range dwChosen {
+		for _, v := range it.Views {
+			newDW.Add(v)
+		}
+	}
+	newHV := views.NewSet()
+	for _, it := range hvChosen {
+		for _, v := range it.Views {
+			newHV.Add(v)
+		}
+	}
+	if !t.cfg.AllowReplication {
+		// Vh and Vd stay disjoint (a DW placement wins ties).
+		for _, v := range newDW.All() {
+			newHV.Remove(v.Name)
+		}
+	}
+
+	reorg := &Reorg{NewHV: newHV, NewDW: newDW}
+	for _, v := range newDW.All() {
+		if !inDW[v.Name] {
+			reorg.MoveToDW = append(reorg.MoveToDW, v)
+			reorg.TransferBytes += v.SizeBytes()
+		}
+	}
+	for _, v := range newHV.All() {
+		if inDW[v.Name] {
+			reorg.MoveToHV = append(reorg.MoveToHV, v)
+			reorg.TransferBytes += v.SizeBytes()
+		}
+	}
+	for _, v := range current.HV.All() {
+		if !newHV.Has(v.Name) && !newDW.Has(v.Name) {
+			reorg.DropHV = append(reorg.DropHV, v)
+		}
+	}
+	return reorg, nil
+}
+
+// cost evaluates (with caching) the what-if cost of the entry's query under
+// a hypothetical design of the given HV and DW views.
+func (t *Tuner) cost(e history.Entry, hvViews, dwViews []*views.View) float64 {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "q%d|h:", e.Seq)
+	for _, v := range sortedByName(hvViews) {
+		sb.WriteString(v.Name)
+		sb.WriteByte(',')
+	}
+	sb.WriteString("|d:")
+	for _, v := range sortedByName(dwViews) {
+		sb.WriteString(v.Name)
+		sb.WriteByte(',')
+	}
+	key := sb.String()
+	if c, ok := t.costCache[key]; ok {
+		return c
+	}
+	d := optimizer.EmptyDesign()
+	for _, v := range hvViews {
+		d.HV.Add(v)
+	}
+	for _, v := range dwViews {
+		d.DW.Add(v)
+	}
+	c := t.opt.Cost(e.Plan, d)
+	t.costCache[key] = c
+	return c
+}
+
+func sortedByName(vs []*views.View) []*views.View {
+	out := append([]*views.View(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func viewRelevant(plan *logical.Node, v *views.View) bool {
+	found := false
+	plan.Walk(func(n *logical.Node) {
+		if found {
+			return
+		}
+		if _, ok := views.MatchNode(n, v); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func remainingBudget(total, used int64) int64 {
+	r := total - used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func max0(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,243 @@
+// Package data generates the synthetic social-media logs used throughout the
+// reproduction: a Twitter-like tweet stream, a Foursquare-like check-in
+// stream, and a static Landmarks reference set. The generators are
+// deterministic given a seed, share user ids across tweets and check-ins and
+// venue ids across check-ins and landmarks (the join structure the paper's
+// workload exploits), and emit JSON-lines records exactly as the paper's
+// HDFS logs are stored.
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"miso/internal/storage"
+)
+
+// Log names used by the workload queries.
+const (
+	TweetsLog    = "tweets"
+	CheckinsLog  = "checkins"
+	LandmarksLog = "landmarks"
+)
+
+// Config controls the size and shape of the generated data set.
+type Config struct {
+	Seed      int64
+	NumTweets int
+	NumCheck  int
+	NumMarks  int
+	NumUsers  int
+	NumVenues int
+
+	// ScaleFactor maps in-memory bytes to logical bytes for the cost
+	// model: with the defaults, ~8 MB of generated logs stand in for the
+	// paper's ~2 TB. See DESIGN.md section 6.
+	ScaleFactor float64
+}
+
+// DefaultConfig returns a laptop-scale configuration whose logical size
+// matches the paper's setup (~2 TB of logs).
+func DefaultConfig() Config {
+	return Config{
+		Seed:        42,
+		NumTweets:   20000,
+		NumCheck:    20000,
+		NumMarks:    1200,
+		NumUsers:    2500,
+		NumVenues:   800,
+		ScaleFactor: 250000, // ~8 MB raw -> ~2 TB logical
+	}
+}
+
+// SmallConfig returns a tiny configuration for unit tests.
+func SmallConfig() Config {
+	return Config{
+		Seed:        7,
+		NumTweets:   2400,
+		NumCheck:    2400,
+		NumMarks:    200,
+		NumUsers:    150,
+		NumVenues:   120,
+		ScaleFactor: 60000,
+	}
+}
+
+var (
+	langs      = []string{"en", "en", "en", "es", "pt", "ja", "fr", "de"}
+	hashtags   = []string{"food", "pizza", "coffee", "burger", "sushi", "travel", "deal", "launch", "fail", "love", "brunch", "vegan"}
+	categories = []string{"restaurant", "cafe", "bar", "museum", "park", "hotel", "theater", "gym"}
+	cities     = []string{"san_francisco", "new_york", "austin", "seattle", "chicago", "boston", "portland", "denver"}
+	words      = []string{
+		"just", "tried", "the", "new", "amazing", "terrible", "best", "worst",
+		"place", "ever", "really", "love", "hate", "recommend", "avoid",
+		"great", "service", "food", "line", "wait", "price", "happy", "again",
+	}
+)
+
+// TweetFields is the registry of fields a SerDe may extract from the tweets
+// log.
+func TweetFields() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "tweet_id", Type: storage.KindInt},
+		storage.Column{Name: "user_id", Type: storage.KindInt},
+		storage.Column{Name: "ts", Type: storage.KindInt},
+		storage.Column{Name: "text", Type: storage.KindString},
+		storage.Column{Name: "hashtag", Type: storage.KindString},
+		storage.Column{Name: "lang", Type: storage.KindString},
+		storage.Column{Name: "retweets", Type: storage.KindInt},
+		storage.Column{Name: "followers", Type: storage.KindInt},
+	)
+}
+
+// CheckinFields is the field registry for the check-ins log.
+func CheckinFields() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "checkin_id", Type: storage.KindInt},
+		storage.Column{Name: "user_id", Type: storage.KindInt},
+		storage.Column{Name: "ts", Type: storage.KindInt},
+		storage.Column{Name: "venue_id", Type: storage.KindInt},
+		storage.Column{Name: "lat", Type: storage.KindFloat},
+		storage.Column{Name: "lon", Type: storage.KindFloat},
+		storage.Column{Name: "category", Type: storage.KindString},
+	)
+}
+
+// LandmarkFields is the field registry for the landmarks log.
+func LandmarkFields() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "venue_id", Type: storage.KindInt},
+		storage.Column{Name: "name", Type: storage.KindString},
+		storage.Column{Name: "city", Type: storage.KindString},
+		storage.Column{Name: "category", Type: storage.KindString},
+		storage.Column{Name: "rating", Type: storage.KindFloat},
+	)
+}
+
+const baseTime = 1356998400 // 2013-01-01T00:00:00Z, matching the paper's era
+
+// Generate builds the three logs and registers them in a fresh catalog.
+func Generate(cfg Config) (*storage.Catalog, error) {
+	if cfg.NumUsers <= 0 || cfg.NumVenues <= 0 {
+		return nil, fmt.Errorf("data: config needs positive NumUsers and NumVenues")
+	}
+	cat := storage.NewCatalog()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tweets, err := generateTweets(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cat.AddLog(tweets)
+
+	checkins, err := generateCheckins(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cat.AddLog(checkins)
+
+	marks, err := generateLandmarks(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cat.AddLog(marks)
+	return cat, nil
+}
+
+// zipfUser draws a user id with a skewed (power-law-ish) distribution so
+// that heavy users exist, as in real social logs.
+func zipfUser(rng *rand.Rand, n int) int64 {
+	// Square a uniform draw: density concentrates near 0.
+	u := rng.Float64()
+	return int64(u * u * float64(n))
+}
+
+func tweetText(rng *rand.Rand, tag string) string {
+	n := 4 + rng.Intn(6)
+	out := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[rng.Intn(len(words))]...)
+	}
+	out = append(out, " #"...)
+	out = append(out, tag...)
+	return string(out)
+}
+
+func generateTweets(rng *rand.Rand, cfg Config) (*storage.LogFile, error) {
+	l := storage.NewLogFile(TweetsLog, TweetFields())
+	l.ScaleFactor = cfg.ScaleFactor
+	for i := 0; i < cfg.NumTweets; i++ {
+		tag := hashtags[rng.Intn(len(hashtags))]
+		rec := map[string]any{
+			"tweet_id":  int64(i),
+			"user_id":   zipfUser(rng, cfg.NumUsers),
+			"ts":        baseTime + int64(rng.Intn(90*24*3600)),
+			"text":      tweetText(rng, tag),
+			"hashtag":   tag,
+			"lang":      langs[rng.Intn(len(langs))],
+			"retweets":  int64(rng.Intn(500)),
+			"followers": int64(rng.Intn(100000)),
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("data: marshal tweet: %w", err)
+		}
+		l.AppendLine(string(b))
+	}
+	return l, nil
+}
+
+func generateCheckins(rng *rand.Rand, cfg Config) (*storage.LogFile, error) {
+	l := storage.NewLogFile(CheckinsLog, CheckinFields())
+	l.ScaleFactor = cfg.ScaleFactor
+	for i := 0; i < cfg.NumCheck; i++ {
+		venue := rng.Intn(cfg.NumVenues)
+		rec := map[string]any{
+			"checkin_id": int64(i),
+			"user_id":    zipfUser(rng, cfg.NumUsers),
+			"ts":         baseTime + int64(rng.Intn(90*24*3600)),
+			"venue_id":   int64(venue),
+			"lat":        37.0 + rng.Float64()*10,
+			"lon":        -122.0 + rng.Float64()*10,
+			"category":   categories[venue%len(categories)],
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("data: marshal checkin: %w", err)
+		}
+		l.AppendLine(string(b))
+	}
+	return l, nil
+}
+
+func generateLandmarks(rng *rand.Rand, cfg Config) (*storage.LogFile, error) {
+	l := storage.NewLogFile(LandmarksLog, LandmarkFields())
+	// Landmarks are small static data (12 GB in the paper vs 1 TB logs);
+	// scale them down by the same ratio.
+	l.ScaleFactor = cfg.ScaleFactor / 16
+	// Landmarks deliberately cover only 3/4 of the venues so that outer
+	// joins against check-ins have unmatched rows.
+	n := cfg.NumMarks
+	if max := cfg.NumVenues * 3 / 4; n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		rec := map[string]any{
+			"venue_id": int64(i),
+			"name":     fmt.Sprintf("venue_%04d", i),
+			"city":     cities[rng.Intn(len(cities))],
+			"category": categories[i%len(categories)],
+			"rating":   1.0 + rng.Float64()*4,
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("data: marshal landmark: %w", err)
+		}
+		l.AppendLine(string(b))
+	}
+	return l, nil
+}

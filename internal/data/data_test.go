@@ -1,0 +1,150 @@
+package data
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.LogNames() {
+		la, _ := a.Log(name)
+		lb, _ := b.Log(name)
+		if la.NumLines() != lb.NumLines() {
+			t.Fatalf("%s: %d vs %d lines", name, la.NumLines(), lb.NumLines())
+		}
+		for i := range la.Lines {
+			if la.Lines[i] != lb.Lines[i] {
+				t.Fatalf("%s line %d differs", name, i)
+			}
+		}
+	}
+	// A different seed produces different data.
+	cfg2 := cfg
+	cfg2.Seed++
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := c.Log(TweetsLog)
+	la, _ := a.Log(TweetsLog)
+	if lc.Lines[0] == la.Lines[0] {
+		t.Error("different seeds produced identical first records")
+	}
+}
+
+func TestRecordsAreValidJSONWithDeclaredFields(t *testing.T) {
+	cat, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cat.LogNames() {
+		log, _ := cat.Log(name)
+		for i, line := range log.Lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("%s line %d: %v", name, i, err)
+			}
+			for _, c := range log.FieldTypes.Columns {
+				if _, ok := rec[c.Name]; !ok {
+					t.Fatalf("%s line %d missing field %q", name, i, c.Name)
+				}
+			}
+			if i > 50 {
+				break
+			}
+		}
+	}
+}
+
+func TestKeySpacesOverlap(t *testing.T) {
+	cat, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := func(name, field string) map[float64]bool {
+		log, _ := cat.Log(name)
+		out := map[float64]bool{}
+		for _, line := range log.Lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := rec[field].(float64); ok {
+				out[v] = true
+			}
+		}
+		return out
+	}
+	tweetUsers := users(TweetsLog, "user_id")
+	checkinUsers := users(CheckinsLog, "user_id")
+	shared := 0
+	for u := range tweetUsers {
+		if checkinUsers[u] {
+			shared++
+		}
+	}
+	if shared < len(tweetUsers)/4 {
+		t.Errorf("only %d of %d tweet users also check in", shared, len(tweetUsers))
+	}
+
+	venues := users(CheckinsLog, "venue_id")
+	markVenues := users(LandmarksLog, "venue_id")
+	if len(markVenues) >= len(venues) {
+		t.Error("landmarks should cover only a subset of venues (outer-join gaps)")
+	}
+	covered := 0
+	for v := range markVenues {
+		if venues[v] {
+			covered++
+		}
+	}
+	if covered == 0 {
+		t.Error("no venue overlap at all")
+	}
+}
+
+func TestScaleFactorApplied(t *testing.T) {
+	cfg := SmallConfig()
+	cat, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, _ := cat.Log(TweetsLog)
+	if tweets.LogicalBytes() != int64(float64(tweets.RawBytes())*cfg.ScaleFactor) {
+		t.Error("scale factor not applied to tweets")
+	}
+	marks, _ := cat.Log(LandmarksLog)
+	if marks.ScaleFactor >= tweets.ScaleFactor {
+		t.Error("landmarks should be scaled down relative to the streams")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := SmallConfig()
+	bad.NumUsers = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero users accepted")
+	}
+}
+
+func TestDefaultConfigIsPaperScale(t *testing.T) {
+	cat, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cat.TotalLogicalBytes()
+	// Roughly 2 TB logical, the paper's setup (1 TB tweets + 1 TB
+	// check-ins + small landmarks).
+	if total < 1e12 || total > 4e12 {
+		t.Errorf("paper-scale logical bytes = %.2f TB", float64(total)/1e12)
+	}
+}

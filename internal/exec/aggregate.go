@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"miso/internal/expr"
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	sumInt   int64
+	isInt    bool
+	min, max storage.Value
+	distinct map[string]bool
+	seenAny  bool
+}
+
+func runAggregate(n *logical.Node, in *storage.Table) (*storage.Table, error) {
+	groupEvals := make([]expr.Compiled, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		c, err := expr.Compile(g.Expr, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		groupEvals[i] = c
+	}
+	argEvals := make([]expr.Compiled, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		argEvals[i] = c
+	}
+
+	type group struct {
+		key    storage.Row
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string // deterministic output order: first-seen
+	var keyBuf strings.Builder
+
+	for _, row := range in.Rows {
+		keyBuf.Reset()
+		keyVals := make(storage.Row, len(groupEvals))
+		for i, g := range groupEvals {
+			keyVals[i] = g(row)
+			keyBuf.WriteString(keyVals[i].String())
+			keyBuf.WriteByte(0)
+		}
+		k := keyBuf.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{key: keyVals, states: make([]*aggState, len(n.Aggs))}
+			for i, a := range n.Aggs {
+				grp.states[i] = &aggState{isInt: true}
+				if a.Distinct {
+					grp.states[i].distinct = map[string]bool{}
+				}
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, a := range n.Aggs {
+			st := grp.states[i]
+			if a.Star {
+				st.count++
+				continue
+			}
+			v := argEvals[i](row)
+			if v.IsNull() {
+				continue
+			}
+			if a.Distinct {
+				dk := v.String()
+				if st.distinct[dk] {
+					continue
+				}
+				st.distinct[dk] = true
+			}
+			st.count++
+			if f, ok := v.AsFloat(); ok {
+				st.sum += f
+				if i64, ok := v.AsInt(); ok && v.Kind == storage.KindInt {
+					st.sumInt += i64
+				} else {
+					st.isInt = false
+				}
+			} else {
+				st.isInt = false
+			}
+			if !st.seenAny {
+				st.min, st.max = v, v
+				st.seenAny = true
+			} else {
+				if storage.Compare(v, st.min) < 0 {
+					st.min = v
+				}
+				if storage.Compare(v, st.max) > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	out := newOutput(n, in)
+	// A global aggregate over an empty input still yields one row.
+	if len(order) == 0 && len(n.GroupBy) == 0 {
+		row := make(storage.Row, n.Schema().Len())
+		for i, a := range n.Aggs {
+			if a.Func == "COUNT" {
+				row[i] = storage.IntValue(0)
+			} else {
+				row[i] = storage.Null
+			}
+		}
+		out.MustAppend(row)
+		return out, nil
+	}
+	for _, k := range order {
+		grp := groups[k]
+		row := make(storage.Row, 0, n.Schema().Len())
+		row = append(row, grp.key...)
+		for i, a := range n.Aggs {
+			v, err := finishAgg(a, grp.states[i])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.MustAppend(row)
+	}
+	return out, nil
+}
+
+func finishAgg(a logical.AggSpec, st *aggState) (storage.Value, error) {
+	switch a.Func {
+	case "COUNT":
+		return storage.IntValue(st.count), nil
+	case "SUM":
+		if st.count == 0 {
+			return storage.Null, nil
+		}
+		if st.isInt {
+			return storage.IntValue(st.sumInt), nil
+		}
+		return storage.FloatValue(st.sum), nil
+	case "AVG":
+		if st.count == 0 {
+			return storage.Null, nil
+		}
+		return storage.FloatValue(st.sum / float64(st.count)), nil
+	case "MIN":
+		if !st.seenAny {
+			return storage.Null, nil
+		}
+		return st.min, nil
+	case "MAX":
+		if !st.seenAny {
+			return storage.Null, nil
+		}
+		return st.max, nil
+	default:
+		return storage.Null, fmt.Errorf("exec: unknown aggregate %q", a.Func)
+	}
+}

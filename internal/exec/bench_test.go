@@ -1,0 +1,84 @@
+package exec_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/exec"
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+func benchEnv(b *testing.B) (*storage.Catalog, *exec.Env, *logical.Builder) {
+	b.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &exec.Env{ReadLog: func(name string) (*storage.LogFile, error) { return cat.Log(name) }}
+	return cat, env, logical.NewBuilder(cat)
+}
+
+func benchQuery(b *testing.B, sql string) {
+	b.Helper()
+	_, env, builder := benchEnv(b)
+	plan, err := builder.BuildSQL(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(plan, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpExtract measures the SerDe path: JSON parsing plus field
+// coercion over the whole tweets log.
+func BenchmarkOpExtract(b *testing.B) {
+	benchQuery(b, "SELECT tweet_id FROM tweets")
+}
+
+// BenchmarkOpExtractWithUDF adds a hoisted map-phase UDF to the SerDe pass.
+func BenchmarkOpExtractWithUDF(b *testing.B) {
+	benchQuery(b, "SELECT tweet_id, SENTIMENT(text) AS s FROM tweets")
+}
+
+// BenchmarkOpFilter measures predicate evaluation over the extracted rows.
+func BenchmarkOpFilter(b *testing.B) {
+	benchQuery(b, "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 100")
+}
+
+// BenchmarkOpHashJoin measures the equi-join build/probe.
+func BenchmarkOpHashJoin(b *testing.B) {
+	benchQuery(b, "SELECT t.tweet_id FROM tweets t JOIN checkins c ON t.user_id = c.user_id")
+}
+
+// BenchmarkOpHashAggregate measures grouped aggregation with three
+// aggregate states per group.
+func BenchmarkOpHashAggregate(b *testing.B) {
+	benchQuery(b, `SELECT lang, COUNT(*) AS n, AVG(retweets) AS ar, MAX(followers) AS mf
+		FROM tweets GROUP BY lang`)
+}
+
+// BenchmarkOpSort measures the sort operator over the full log.
+func BenchmarkOpSort(b *testing.B) {
+	benchQuery(b, "SELECT tweet_id, retweets FROM tweets ORDER BY retweets DESC")
+}
+
+// BenchmarkOpDistinct measures row-level deduplication.
+func BenchmarkOpDistinct(b *testing.B) {
+	benchQuery(b, "SELECT DISTINCT user_id FROM tweets")
+}
+
+// BenchmarkThreeWayJoinAggregate is the workload's characteristic shape:
+// extract x3, join x2, aggregate, sort.
+func BenchmarkThreeWayJoinAggregate(b *testing.B) {
+	benchQuery(b, `SELECT l.city, COUNT(*) AS n
+		FROM tweets t
+		JOIN checkins c ON t.user_id = c.user_id
+		JOIN landmarks l ON c.venue_id = l.venue_id
+		WHERE t.lang = 'en'
+		GROUP BY l.city ORDER BY n DESC`)
+}

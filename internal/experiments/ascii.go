@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+)
+
+// asciiStackedBars renders horizontal stacked bars (one per label) scaled
+// to a fixed width — a terminal rendition of the paper's stacked TTI bars.
+// segNames name the stack segments; each row's values align with them.
+// Zero- and negative-valued segments are skipped.
+func asciiStackedBars(w io.Writer, labels []string, rows [][]float64, segNames []string) {
+	const width = 58
+	glyphs := []byte{'#', '=', '~', '+', '.', '*'}
+	var max float64
+	for _, row := range rows {
+		var sum float64
+		for _, v := range row {
+			if v > 0 {
+				sum += v
+			}
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	fprintf(w, "  legend:")
+	for i, n := range segNames {
+		fprintf(w, "  %c=%s", glyphs[i%len(glyphs)], n)
+	}
+	fprintf(w, "\n")
+	for li, label := range labels {
+		var sb strings.Builder
+		var total float64
+		for si, v := range rows[li] {
+			if v <= 0 {
+				continue
+			}
+			total += v
+			n := int(v / max * width)
+			sb.Write(bytesRepeat(glyphs[si%len(glyphs)], n))
+		}
+		fprintf(w, "  %-9s |%-*s| %.0f\n", label, width, sb.String(), total)
+	}
+}
+
+// asciiColumns renders one row of proportional bars per series — a compact
+// rendition of a grouped bar chart like the paper's budget sweep.
+func asciiColumns(w io.Writer, xLabels []string, seriesNames []string, values [][]float64) {
+	var max float64
+	for _, row := range values {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	for si, name := range seriesNames {
+		// A proportional bar per x point.
+		fprintf(w, "  %-9s", name)
+		for _, v := range values[si] {
+			n := int(v / max * 8)
+			fprintf(w, " %8s", strings.Repeat("|", n+1))
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "  %-9s", "")
+	for _, x := range xLabels {
+		fprintf(w, " %8s", x)
+	}
+	fprintf(w, "\n")
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiStackedBars(t *testing.T) {
+	var buf bytes.Buffer
+	asciiStackedBars(&buf,
+		[]string{"A", "B"},
+		[][]float64{{10, 20}, {30, 0}},
+		[]string{"x", "y"})
+	out := buf.String()
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The A bar (30 total) and B bar (30 total) end with their totals.
+	if !strings.Contains(lines[1], "30") || !strings.Contains(lines[2], "30") {
+		t.Errorf("totals missing: %q", out)
+	}
+	// B's bar uses only the first glyph (its second segment is zero).
+	if strings.Contains(lines[2], "=") {
+		t.Errorf("zero segment rendered: %q", lines[2])
+	}
+}
+
+func TestAsciiStackedBarsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	asciiStackedBars(&buf, []string{"A"}, [][]float64{{0}}, []string{"x"})
+	if buf.Len() != 0 {
+		t.Error("all-zero input should render nothing")
+	}
+}
+
+func TestAsciiColumns(t *testing.T) {
+	var buf bytes.Buffer
+	asciiColumns(&buf,
+		[]string{"1x", "2x"},
+		[]string{"s1", "s2"},
+		[][]float64{{100, 50}, {25, 25}})
+	out := buf.String()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "2x") {
+		t.Errorf("missing labels: %q", out)
+	}
+	// The largest value renders the longest bar.
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(rows[0], "|") <= strings.Count(rows[1], "|") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the split-plan profile (Fig 3), the two-query
+// motivation (Section 3.2), the five-variant TTI comparison (Fig 4), the
+// TTI and query-time CDFs (Fig 5), store utilization (Fig 6), the tuning
+// technique comparison (Fig 7), the storage budget sweep (Fig 8), the
+// spare-capacity timelines (Fig 9), and the mutual-impact table (Table 2).
+// Each experiment returns structured results and renders a plain-text
+// table; absolute numbers are simulated seconds, and the comparison targets
+// are the paper's shapes (who wins, by what factor, where crossovers fall).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"miso/internal/data"
+	"miso/internal/multistore"
+	"miso/internal/optimizer"
+	"miso/internal/views"
+	"miso/internal/workload"
+)
+
+func freshViewSet() *views.Set { return views.NewSet() }
+
+func emptyDesign() optimizer.Design { return optimizer.EmptyDesign() }
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Data is the dataset configuration; DefaultConfig is paper scale.
+	Data data.Config
+	// BudgetMultiple is the view storage budget as a multiple of each
+	// store's base size (2.0 in the main experiments).
+	BudgetMultiple float64
+	// TransferBudget is Bt in bytes (10 GB in the paper; calibrated to
+	// this workload's view-size distribution, see EXPERIMENTS.md).
+	TransferBudget int64
+}
+
+// Default returns the paper's main configuration.
+func Default() Config {
+	return Config{
+		Data:           data.DefaultConfig(),
+		BudgetMultiple: 2.0,
+		TransferBudget: 10 << 30,
+	}
+}
+
+// Small returns a quick configuration for tests.
+func Small() Config {
+	return Config{
+		Data:           data.SmallConfig(),
+		BudgetMultiple: 2.0,
+		TransferBudget: 10 << 30,
+	}
+}
+
+// newSystem builds a system for the variant under this configuration.
+func (c Config) newSystem(v multistore.Variant) (*multistore.System, error) {
+	cat, err := data.Generate(c.Data)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multistore.DefaultConfig(v)
+	cfg.SetBudgets(cat, c.BudgetMultiple, c.TransferBudget)
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// runWorkload executes the full 32-query workload on a fresh system.
+func (c Config) runWorkload(v multistore.Variant) (*multistore.System, error) {
+	sys, err := c.newSystem(v)
+	if err != nil {
+		return nil, err
+	}
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			return nil, fmt.Errorf("experiments: %s query %d (%s): %w",
+				v, i, workload.Evolving()[i].Name, err)
+		}
+	}
+	return sys, nil
+}
+
+// cumulativeTTI reconstructs the per-query cumulative TTI series: ETL is
+// paid before the first query, each reorganization before the query it
+// precedes, then the query's own execution time.
+func cumulativeTTI(sys *multistore.System) []float64 {
+	reorgAt := map[int]float64{}
+	for _, r := range sys.ReorgLog() {
+		reorgAt[r.BeforeSeq] += r.Seconds
+	}
+	m := sys.Metrics()
+	cum := m.ETL
+	out := make([]float64, 0, len(sys.Reports()))
+	for _, rep := range sys.Reports() {
+		cum += reorgAt[rep.Seq]
+		cum += rep.Total()
+		out = append(out, cum)
+	}
+	return out
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

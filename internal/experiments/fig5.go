@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+)
+
+// Fig5Buckets are the paper's query execution time distribution buckets
+// (upper bounds, seconds).
+var Fig5Buckets = []float64{
+	10, 100, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000,
+	10000, 15000, 20000, 25000, 30000, 35000, 45000,
+}
+
+// Fig5Result derives both CDFs of Figure 5 from Figure 4's runs:
+// (a) cumulative TTI as a function of queries completed, and
+// (b) the per-query execution time distribution.
+type Fig5Result struct {
+	Base *Fig4Result
+}
+
+// Fig5 reuses a Fig 4 result (running it if absent).
+func Fig5(cfg Config, base *Fig4Result) (*Fig5Result, error) {
+	if base == nil {
+		var err error
+		base, err = Fig4(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Fig5Result{Base: base}, nil
+}
+
+// DistributionRow returns, for the variant, the percentage of queries whose
+// execution time is under each Fig5Bucket bound.
+func (r *Fig5Result) DistributionRow(o *VariantOutcome) []float64 {
+	times := append([]float64(nil), o.QueryTimes...)
+	sort.Float64s(times)
+	out := make([]float64, len(Fig5Buckets))
+	for i, b := range Fig5Buckets {
+		n := sort.SearchFloat64s(times, b)
+		out[i] = 100 * float64(n) / float64(len(times))
+	}
+	return out
+}
+
+// WriteText renders both CDFs.
+func (r *Fig5Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 5(a): cumulative TTI (s) vs queries completed\n")
+	fprintf(w, "%-8s", "query")
+	for _, o := range r.Base.Outcomes {
+		fprintf(w, " %12s", o.Variant)
+	}
+	fprintf(w, "\n")
+	n := 0
+	for _, o := range r.Base.Outcomes {
+		if len(o.CumTTI) > n {
+			n = len(o.CumTTI)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fprintf(w, "%-8d", i+1)
+		for _, o := range r.Base.Outcomes {
+			if i < len(o.CumTTI) {
+				fprintf(w, " %12.0f", o.CumTTI[i])
+			} else {
+				fprintf(w, " %12s", "-")
+			}
+		}
+		fprintf(w, "\n")
+	}
+
+	fprintf(w, "\nFigure 5(b): %% of queries with execution time under bound\n")
+	fprintf(w, "%-9s", "bound(s)")
+	for _, o := range r.Base.Outcomes {
+		fprintf(w, " %9s", o.Variant)
+	}
+	fprintf(w, "\n")
+	rows := make([][]float64, len(r.Base.Outcomes))
+	for i := range r.Base.Outcomes {
+		rows[i] = r.DistributionRow(&r.Base.Outcomes[i])
+	}
+	for bi, b := range Fig5Buckets {
+		fprintf(w, "<%-8.0f", b)
+		for vi := range r.Base.Outcomes {
+			fprintf(w, " %8.0f%%", rows[vi][bi])
+		}
+		fprintf(w, "\n")
+	}
+}

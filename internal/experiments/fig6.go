@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"miso/internal/multistore"
+)
+
+// Fig6Row is one query's store utilization.
+type Fig6Row struct {
+	QueryName string
+	// HVFrac, TransferFrac, DWFrac are fractions of the query's total
+	// execution time spent in each component.
+	HVFrac, TransferFrac, DWFrac float64
+	Total                        float64
+}
+
+// Fig6Series is one system's utilization profile with queries ranked by DW
+// utilization (rank 1 = highest DW fraction), as in the paper's Figure 6.
+type Fig6Series struct {
+	Label string
+	Rows  []Fig6Row
+	// SecondsInHVPerDWSecond is the store-utilization summary the paper
+	// quotes ("for every second spent in DW the queries spend N seconds
+	// in HV"), over the 16 highest-DW-utilization queries.
+	SecondsInHVPerDWSecond float64
+	// AvgHVOpFrac is the mean fraction of plan operators executed in HV
+	// (the paper's closing observation for this figure reports splits as
+	// operator ratios, e.g. "2/3 of the operators in HV").
+	AvgHVOpFrac float64
+}
+
+// Fig6Result compares MS-BASIC against MS-MISO at two budgets.
+type Fig6Result struct {
+	Series []Fig6Series
+}
+
+// Fig6 runs the three configurations of the paper's Figure 6:
+// (a) MS-BASIC, (b) MS-MISO with 0.125x budgets, (c) MS-MISO with 2x.
+func Fig6(cfg Config, names []string) (*Fig6Result, error) {
+	type spec struct {
+		label    string
+		variant  multistore.Variant
+		multiple float64
+	}
+	specs := []spec{
+		{"MS-BASIC", multistore.VariantMSBasic, cfg.BudgetMultiple},
+		{"MS-MISO 0.125x", multistore.VariantMSMiso, 0.125},
+		{"MS-MISO 2x", multistore.VariantMSMiso, 2.0},
+	}
+	res := &Fig6Result{}
+	for _, sp := range specs {
+		c := cfg
+		c.BudgetMultiple = sp.multiple
+		sys, err := c.runWorkload(sp.variant)
+		if err != nil {
+			return nil, err
+		}
+		series := Fig6Series{Label: sp.label}
+		var hvOps, allOps int
+		for i, rep := range sys.Reports() {
+			total := rep.Total()
+			row := Fig6Row{QueryName: names[i], Total: total}
+			if total > 0 {
+				row.HVFrac = rep.HVSeconds / total
+				row.TransferFrac = rep.TransferSeconds / total
+				row.DWFrac = rep.DWSeconds / total
+			}
+			hvOps += rep.HVOps
+			allOps += rep.HVOps + rep.DWOps
+			series.Rows = append(series.Rows, row)
+		}
+		if allOps > 0 {
+			series.AvgHVOpFrac = float64(hvOps) / float64(allOps)
+		}
+		sort.SliceStable(series.Rows, func(i, j int) bool {
+			return series.Rows[i].DWFrac > series.Rows[j].DWFrac
+		})
+		var hv, dw float64
+		top := series.Rows
+		if len(top) > 16 {
+			top = top[:16]
+		}
+		for _, r := range top {
+			hv += r.HVFrac * r.Total
+			dw += r.DWFrac * r.Total
+		}
+		if dw > 0 {
+			series.SecondsInHVPerDWSecond = hv / dw
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// WriteText renders the ranked utilization profiles.
+func (r *Fig6Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 6: per-query store utilization, ranked by DW fraction\n")
+	for _, s := range r.Series {
+		fprintf(w, "\n[%s]  (HV seconds per DW second over top-16: %.2f; %.0f%% of plan operators ran in HV)\n",
+			s.Label, s.SecondsInHVPerDWSecond, 100*s.AvgHVOpFrac)
+		fprintf(w, "%4s %-6s %6s %6s %6s %10s\n", "rank", "query", "HV%", "XFER%", "DW%", "total(s)")
+		for i, row := range s.Rows {
+			fprintf(w, "%4d %-6s %5.0f%% %5.0f%% %5.0f%% %10.0f\n",
+				i+1, row.QueryName, 100*row.HVFrac, 100*row.TransferFrac,
+				100*row.DWFrac, row.Total)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFig7PaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	r, err := Fig7(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WriteText(os.Stderr)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"miso/internal/multistore"
+)
+
+// Fig8Multiples is the storage budget sweep of the paper's Figure 8.
+var Fig8Multiples = []float64{0.125, 0.5, 1.0, 2.0, 4.0}
+
+// Fig8Variants are the tuning methods compared across budgets.
+var Fig8Variants = []multistore.Variant{
+	multistore.VariantMSLru,
+	multistore.VariantMSOff,
+	multistore.VariantMSMiso,
+}
+
+// Fig8Result is TTI as a function of view storage budget for each method.
+type Fig8Result struct {
+	Multiples []float64
+	// TTIs[variant][i] is the TTI at Multiples[i].
+	TTIs map[multistore.Variant][]float64
+}
+
+// Fig8 sweeps the view storage budgets with Bt held constant.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{
+		Multiples: Fig8Multiples,
+		TTIs:      map[multistore.Variant][]float64{},
+	}
+	for _, v := range Fig8Variants {
+		for _, m := range Fig8Multiples {
+			c := cfg
+			c.BudgetMultiple = m
+			sys, err := c.runWorkload(v)
+			if err != nil {
+				return nil, err
+			}
+			res.TTIs[v] = append(res.TTIs[v], sys.Metrics().TTI())
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the sweep.
+func (r *Fig8Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 8: TTI (s) vs view storage budget (Bt fixed)\n")
+	fprintf(w, "%-9s", "budget")
+	for _, m := range r.Multiples {
+		fprintf(w, " %9.3fx", m)
+	}
+	fprintf(w, "\n")
+	for _, v := range Fig8Variants {
+		fprintf(w, "%-9s", v)
+		for _, tti := range r.TTIs[v] {
+			fprintf(w, " %10.0f", tti)
+		}
+		fprintf(w, "\n")
+	}
+	xs := make([]string, len(r.Multiples))
+	for i, m := range r.Multiples {
+		xs[i] = fmt.Sprintf("%.3gx", m)
+	}
+	names := make([]string, len(Fig8Variants))
+	vals := make([][]float64, len(Fig8Variants))
+	for i, v := range Fig8Variants {
+		names[i] = string(v)
+		vals[i] = r.TTIs[v]
+	}
+	asciiColumns(w, xs, names, vals)
+}

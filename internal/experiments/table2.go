@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+
+	"miso/internal/multistore"
+	"miso/internal/sim"
+)
+
+// Table2Row is one spare-capacity configuration's mutual impact.
+type Table2Row struct {
+	Scenario string
+	// DWSlowdownPct is the slowdown of the DW reporting queries caused
+	// by the multistore workload.
+	DWSlowdownPct float64
+	// MSSlowdownPct is the slowdown of the multistore workload caused by
+	// the DW reporting queries.
+	MSSlowdownPct float64
+}
+
+// Table2Result reproduces the paper's Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs MS-MISO once and replays its timeline against all four
+// spare-capacity scenarios.
+func Table2(cfg Config) (*Table2Result, error) {
+	sys, err := cfg.runWorkload(multistore.VariantMSMiso)
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := measuredScenarios()
+	if err != nil {
+		return nil, err
+	}
+	events := BuildTimeline(sys)
+	res := &Table2Result{}
+	for _, bg := range scenarios {
+		o := sim.Simulate(events, bg, 10)
+		res.Rows = append(res.Rows, Table2Row{
+			Scenario:      bg.Name,
+			DWSlowdownPct: o.BgSlowdownPct,
+			MSSlowdownPct: o.MsSlowdownPct,
+		})
+	}
+	return res, nil
+}
+
+// WriteText renders Table 2.
+func (r *Table2Result) WriteText(w io.Writer) {
+	fprintf(w, "Table 2: impact of multistore workload on DW queries and vice-versa\n")
+	fprintf(w, "%-14s %22s %22s\n", "spare capacity", "DW queries slowdown", "multistore slowdown")
+	for _, row := range r.Rows {
+		fprintf(w, "%-14s %21.1f%% %21.1f%%\n", row.Scenario, row.DWSlowdownPct, row.MSSlowdownPct)
+	}
+}

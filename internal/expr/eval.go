@@ -1,0 +1,365 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"miso/internal/storage"
+)
+
+// Compiled is an expression bound to a schema: it evaluates against one row.
+type Compiled func(row storage.Row) storage.Value
+
+// TypeOf infers the result kind of e against the given input schema.
+func TypeOf(e Expr, schema *storage.Schema) (storage.Kind, error) {
+	switch v := e.(type) {
+	case *ColRef:
+		i := schema.Index(v.Name)
+		if i < 0 {
+			return 0, fmt.Errorf("expr: unknown column %q in schema %s", v.Name, schema)
+		}
+		return schema.Columns[i].Type, nil
+	case *Const:
+		return v.Val.Kind, nil
+	case *BinOp:
+		switch v.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=", "LIKE":
+			return storage.KindBool, nil
+		case "+", "-", "*", "/", "%":
+			lt, err := TypeOf(v.L, schema)
+			if err != nil {
+				return 0, err
+			}
+			rt, err := TypeOf(v.R, schema)
+			if err != nil {
+				return 0, err
+			}
+			if lt == storage.KindFloat || rt == storage.KindFloat || v.Op == "/" {
+				return storage.KindFloat, nil
+			}
+			return storage.KindInt, nil
+		default:
+			return 0, fmt.Errorf("expr: unknown operator %q", v.Op)
+		}
+	case *Not, *IsNull, *In:
+		return storage.KindBool, nil
+	case *Neg:
+		return TypeOf(v.E, schema)
+	case *Func:
+		impl, ok := LookupFunc(v.Name)
+		if !ok {
+			return 0, fmt.Errorf("expr: unknown function %q", v.Name)
+		}
+		if len(v.Args) < impl.MinArgs || len(v.Args) > impl.MaxArgs {
+			return 0, fmt.Errorf("expr: %s takes %d..%d args, got %d",
+				v.Name, impl.MinArgs, impl.MaxArgs, len(v.Args))
+		}
+		for _, a := range v.Args {
+			if _, err := TypeOf(a, schema); err != nil {
+				return 0, err
+			}
+		}
+		return impl.RetType, nil
+	default:
+		return 0, fmt.Errorf("expr: unknown expression %T", e)
+	}
+}
+
+// Compile binds e to the schema and returns an evaluator. Compilation
+// resolves all column indices up front so evaluation is index-based.
+func Compile(e Expr, schema *storage.Schema) (Compiled, error) {
+	switch v := e.(type) {
+	case *ColRef:
+		i := schema.Index(v.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: unknown column %q in schema %s", v.Name, schema)
+		}
+		return func(row storage.Row) storage.Value { return row[i] }, nil
+	case *Const:
+		val := v.Val
+		return func(storage.Row) storage.Value { return val }, nil
+	case *BinOp:
+		l, err := Compile(v.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(v.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return compileBinOp(v.Op, l, r)
+	case *Not:
+		in, err := Compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row storage.Row) storage.Value {
+			x := in(row)
+			if x.IsNull() {
+				return storage.Null
+			}
+			return storage.BoolValue(!x.Bool())
+		}, nil
+	case *Neg:
+		in, err := Compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row storage.Row) storage.Value {
+			x := in(row)
+			switch x.Kind {
+			case storage.KindInt:
+				return storage.IntValue(-x.I)
+			case storage.KindFloat:
+				return storage.FloatValue(-x.F)
+			default:
+				return storage.Null
+			}
+		}, nil
+	case *IsNull:
+		in, err := Compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		neg := v.Neg
+		return func(row storage.Row) storage.Value {
+			isNull := in(row).IsNull()
+			if neg {
+				isNull = !isNull
+			}
+			return storage.BoolValue(isNull)
+		}, nil
+	case *In:
+		in, err := Compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Compiled, len(v.Items))
+		for i, it := range v.Items {
+			c, err := Compile(it, schema)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = c
+		}
+		neg := v.Neg
+		return func(row storage.Row) storage.Value {
+			x := in(row)
+			if x.IsNull() {
+				return storage.Null
+			}
+			found := false
+			for _, it := range items {
+				if storage.Equal(x, it(row)) {
+					found = true
+					break
+				}
+			}
+			if neg {
+				found = !found
+			}
+			return storage.BoolValue(found)
+		}, nil
+	case *Func:
+		impl, ok := LookupFunc(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown function %q", v.Name)
+		}
+		if len(v.Args) < impl.MinArgs || len(v.Args) > impl.MaxArgs {
+			return nil, fmt.Errorf("expr: %s takes %d..%d args, got %d",
+				v.Name, impl.MinArgs, impl.MaxArgs, len(v.Args))
+		}
+		args := make([]Compiled, len(v.Args))
+		for i, a := range v.Args {
+			c, err := Compile(a, schema)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		fn := impl.Eval
+		return func(row storage.Row) storage.Value {
+			vals := make([]storage.Value, len(args))
+			for i, a := range args {
+				vals[i] = a(row)
+			}
+			return fn(vals)
+		}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+func compileBinOp(op string, l, r Compiled) (Compiled, error) {
+	switch op {
+	case "AND":
+		return func(row storage.Row) storage.Value {
+			lv := l(row)
+			if !lv.IsNull() && !lv.Bool() {
+				return storage.BoolValue(false)
+			}
+			rv := r(row)
+			if !rv.IsNull() && !rv.Bool() {
+				return storage.BoolValue(false)
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return storage.Null
+			}
+			return storage.BoolValue(true)
+		}, nil
+	case "OR":
+		return func(row storage.Row) storage.Value {
+			lv := l(row)
+			if !lv.IsNull() && lv.Bool() {
+				return storage.BoolValue(true)
+			}
+			rv := r(row)
+			if !rv.IsNull() && rv.Bool() {
+				return storage.BoolValue(true)
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return storage.Null
+			}
+			return storage.BoolValue(false)
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(row storage.Row) storage.Value {
+			lv, rv := l(row), r(row)
+			if lv.IsNull() || rv.IsNull() {
+				return storage.Null
+			}
+			c := storage.Compare(lv, rv)
+			var out bool
+			switch op {
+			case "=":
+				out = c == 0
+			case "!=":
+				out = c != 0
+			case "<":
+				out = c < 0
+			case "<=":
+				out = c <= 0
+			case ">":
+				out = c > 0
+			case ">=":
+				out = c >= 0
+			}
+			return storage.BoolValue(out)
+		}, nil
+	case "LIKE":
+		return func(row storage.Row) storage.Value {
+			lv, rv := l(row), r(row)
+			if lv.IsNull() || rv.IsNull() {
+				return storage.Null
+			}
+			return storage.BoolValue(likeMatch(lv.String(), rv.String()))
+		}, nil
+	case "+", "-", "*", "/", "%":
+		return func(row storage.Row) storage.Value {
+			lv, rv := l(row), r(row)
+			if lv.IsNull() || rv.IsNull() {
+				return storage.Null
+			}
+			return arith(op, lv, rv)
+		}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown operator %q", op)
+	}
+}
+
+func arith(op string, a, b storage.Value) storage.Value {
+	if a.Kind == storage.KindInt && b.Kind == storage.KindInt && op != "/" {
+		switch op {
+		case "+":
+			return storage.IntValue(a.I + b.I)
+		case "-":
+			return storage.IntValue(a.I - b.I)
+		case "*":
+			return storage.IntValue(a.I * b.I)
+		case "%":
+			if b.I == 0 {
+				return storage.Null
+			}
+			return storage.IntValue(a.I % b.I)
+		}
+	}
+	af, ok1 := a.AsFloat()
+	bf, ok2 := b.AsFloat()
+	if !ok1 || !ok2 {
+		return storage.Null
+	}
+	switch op {
+	case "+":
+		return storage.FloatValue(af + bf)
+	case "-":
+		return storage.FloatValue(af - bf)
+	case "*":
+		return storage.FloatValue(af * bf)
+	case "/":
+		if bf == 0 {
+			return storage.Null
+		}
+		return storage.FloatValue(af / bf)
+	case "%":
+		if bf == 0 {
+			return storage.Null
+		}
+		return storage.FloatValue(float64(int64(af) % int64(bf)))
+	default:
+		return storage.Null
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern segments split on %.
+	segs := strings.Split(pattern, "%")
+	if len(segs) == 1 {
+		return underscoreMatch(s, pattern)
+	}
+	// First segment must anchor at the start.
+	first := segs[0]
+	if len(s) < len(first) || !underscoreMatch(s[:len(first)], first) {
+		return false
+	}
+	s = s[len(first):]
+	// Last segment must anchor at the end.
+	last := segs[len(segs)-1]
+	if len(s) < len(last) || !underscoreMatch(s[len(s)-len(last):], last) {
+		return false
+	}
+	s = s[:len(s)-len(last)]
+	// Middle segments must appear in order.
+	for _, seg := range segs[1 : len(segs)-1] {
+		if seg == "" {
+			continue
+		}
+		idx := indexUnderscore(s, seg)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(seg):]
+	}
+	return true
+}
+
+func underscoreMatch(s, pattern string) bool {
+	if len(s) != len(pattern) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if pattern[i] != '_' && pattern[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexUnderscore(s, seg string) int {
+	for i := 0; i+len(seg) <= len(s); i++ {
+		if underscoreMatch(s[i:i+len(seg)], seg) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,316 @@
+// Package hv simulates the big data store: a Hive-like engine that executes
+// logical plans as a sequence of MapReduce-style jobs. Every job boundary
+// (join, aggregate, distinct, sort — plus the map-phase outputs feeding
+// them) materializes its result, exactly the fault-tolerance by-products the
+// paper retains as opportunistic materialized views. Execution is real
+// (actual tuples); wall-clock time is simulated from measured logical bytes
+// through a calibrated cost model: high per-job startup and modest per-node
+// scan/write throughput, with an extra SerDe penalty when parsing raw JSON
+// logs.
+package hv
+
+import (
+	"fmt"
+
+	"miso/internal/exec"
+	"miso/internal/logical"
+	"miso/internal/stats"
+	"miso/internal/storage"
+	"miso/internal/views"
+)
+
+// Config calibrates the HV cluster and cost model.
+type Config struct {
+	// Nodes is the cluster size (15 in the paper).
+	Nodes int
+	// StageStartup is the fixed per-job scheduling overhead in seconds.
+	StageStartup float64
+	// ScanMBps is the per-node scan throughput for already-extracted data.
+	ScanMBps float64
+	// WriteMBps is the per-node HDFS write (materialization) throughput.
+	WriteMBps float64
+	// SerDeFactor divides scan throughput when parsing raw JSON logs.
+	SerDeFactor float64
+}
+
+// DefaultConfig matches the paper's 15-node Hive cluster, calibrated to its
+// observed query times (thousands of seconds per query over ~TB logs).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        15,
+		StageStartup: 90,
+		ScanMBps:     90,
+		WriteMBps:    60,
+		SerDeFactor:  2.0,
+	}
+}
+
+// Result reports one plan execution in HV.
+type Result struct {
+	Table *storage.Table
+	// Seconds is the simulated execution time.
+	Seconds float64
+	// NewViews are opportunistic views created by this execution (stage
+	// outputs not already present in the store).
+	NewViews []*views.View
+	// Stages is the number of jobs run.
+	Stages int
+}
+
+// Store is the HV instance: it owns the raw logs (via the catalog) and the
+// HV side of the multistore design.
+type Store struct {
+	cfg Config
+	cat *storage.Catalog
+	est *stats.Estimator
+
+	// Views is the HV view set (the store's physical design).
+	Views *views.Set
+}
+
+// NewStore creates an HV store over the catalog.
+func NewStore(cfg Config, cat *storage.Catalog, est *stats.Estimator) *Store {
+	return &Store{cfg: cfg, cat: cat, est: est, Views: views.NewSet()}
+}
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Env returns the execution environment resolving logs and HV views.
+func (s *Store) Env() *exec.Env {
+	return &exec.Env{
+		ReadLog: func(name string) (*storage.LogFile, error) { return s.cat.Log(name) },
+		ReadView: func(name string) (*storage.Table, error) {
+			v, ok := s.Views.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("hv: view %q not in HV", name)
+			}
+			return v.Table, nil
+		},
+	}
+}
+
+var boundaryKind = map[logical.Kind]bool{
+	logical.KindJoin:      true,
+	logical.KindAggregate: true,
+	logical.KindDistinct:  true,
+	logical.KindSort:      true,
+}
+
+// MaterializedNodes returns the set of nodes whose outputs a Hive-style
+// engine writes to HDFS: the root, every job boundary, and the map-phase
+// outputs feeding each boundary.
+func MaterializedNodes(root *logical.Node) map[*logical.Node]bool {
+	mat := map[*logical.Node]bool{root: true}
+	root.Walk(func(n *logical.Node) {
+		if !boundaryKind[n.Kind] {
+			return
+		}
+		mat[n] = true
+		for _, c := range n.Children {
+			if c.Kind != logical.KindViewScan && c.Kind != logical.KindScan {
+				mat[c] = true
+			}
+		}
+	})
+	// A bare ViewScan or Scan root is not a job.
+	if root.Kind == logical.KindViewScan || root.Kind == logical.KindScan {
+		delete(mat, root)
+	}
+	return mat
+}
+
+// stageInput sums the bytes a job reads: materialized descendants' outputs
+// and views at normal scan rate, raw logs at SerDe rate.
+func stageInput(n *logical.Node, mat map[*logical.Node]bool, size func(*logical.Node) int64) (normal, serde int64) {
+	for _, c := range n.Children {
+		switch {
+		case mat[c], c.Kind == logical.KindViewScan:
+			normal += size(c)
+		case c.Kind == logical.KindScan:
+			serde += size(c)
+		default:
+			cn, cs := stageInput(c, mat, size)
+			normal += cn
+			serde += cs
+		}
+	}
+	return normal, serde
+}
+
+// jobSeconds costs one job from its input/output byte sizes.
+func (s *Store) jobSeconds(normal, serde, out int64) float64 {
+	scan := s.cfg.ScanMBps * float64(s.cfg.Nodes) * 1e6
+	write := s.cfg.WriteMBps * float64(s.cfg.Nodes) * 1e6
+	sec := s.cfg.StageStartup
+	sec += float64(normal) / scan
+	sec += float64(serde) * s.cfg.SerDeFactor / scan
+	sec += float64(out) / write
+	return sec
+}
+
+// Execute runs the plan, materializing every stage, charging simulated time,
+// recording observed statistics, and capturing new opportunistic views.
+// seq is the workload sequence number (for view bookkeeping).
+func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
+	env := s.Env()
+	mat := MaterializedNodes(plan)
+	tables := map[*logical.Node]*storage.Table{}
+
+	var run func(n *logical.Node) (*storage.Table, error)
+	run = func(n *logical.Node) (*storage.Table, error) {
+		var inputs []*storage.Table
+		switch n.Kind {
+		case logical.KindExtract, logical.KindViewScan:
+		default:
+			for _, c := range n.Children {
+				t, err := run(c)
+				if err != nil {
+					return nil, err
+				}
+				inputs = append(inputs, t)
+			}
+		}
+		t, err := exec.RunNode(n, env, inputs)
+		if err != nil {
+			return nil, err
+		}
+		tables[n] = t
+		return t, nil
+	}
+	out, err := run(plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// Record truth for every computed subtree.
+	for n, t := range tables {
+		s.est.Record(n.Signature(), stats.Stat{Rows: int64(t.NumRows()), Bytes: t.LogicalBytes()})
+	}
+
+	res := &Result{Table: out}
+	size := func(n *logical.Node) int64 {
+		if n.Kind == logical.KindScan {
+			log, err := s.cat.Log(n.LogName)
+			if err != nil {
+				return 0
+			}
+			return log.LogicalBytes()
+		}
+		if t, ok := tables[n]; ok {
+			return t.LogicalBytes()
+		}
+		if v, ok := s.Views.Get(n.ViewName); ok {
+			return v.SizeBytes()
+		}
+		return 0
+	}
+	for n := range mat {
+		normal, serde := stageInput(n, mat, size)
+		res.Seconds += s.jobSeconds(normal, serde, tables[n].LogicalBytes())
+		res.Stages++
+	}
+
+	// Capture opportunistic views from stage outputs. Definitions are
+	// expanded to base-data terms so future raw plans match them.
+	for n := range mat {
+		if n.Kind == logical.KindViewScan {
+			continue
+		}
+		def := s.ExpandViews(n)
+		if def == nil {
+			continue
+		}
+		name := views.NameForSig(def.Signature())
+		if s.Views.Has(name) {
+			if v, _ := s.Views.Get(name); v != nil {
+				v.LastUsedSeq = seq
+			}
+			continue
+		}
+		v := views.New(def, tables[n], seq)
+		s.est.RecordView(v.Name, stats.Stat{
+			Rows:  int64(tables[n].NumRows()),
+			Bytes: tables[n].LogicalBytes(),
+		})
+		s.Views.Add(v)
+		res.NewViews = append(res.NewViews, v)
+	}
+	return res, nil
+}
+
+// ExpandViews rewrites ViewScan leaves back to their base-data definitions,
+// producing a definition whose signature matches raw (unrewritten) plans.
+// Returns nil when a referenced view is unknown to this store.
+func (s *Store) ExpandViews(n *logical.Node) *logical.Node {
+	if n.Kind == logical.KindViewScan {
+		v, ok := s.Views.Get(n.ViewName)
+		if !ok {
+			return nil
+		}
+		return logical.Normalize(v.Def.Clone())
+	}
+	c := n.Clone()
+	if s.expandInPlace(c) == nil {
+		return nil
+	}
+	return logical.Normalize(c)
+}
+
+func (s *Store) expandInPlace(n *logical.Node) *logical.Node {
+	for i, c := range n.Children {
+		if c.Kind == logical.KindViewScan {
+			v, ok := s.Views.Get(c.ViewName)
+			if !ok {
+				return nil
+			}
+			n.Children[i] = v.Def.Clone()
+			continue
+		}
+		if s.expandInPlace(c) == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// CostPlan estimates the simulated execution time of the plan without
+// running it, using the shared estimator (what-if mode). Hypothetical views
+// must have recorded sizes (RecordView) for accurate costing.
+func (s *Store) CostPlan(plan *logical.Node) float64 {
+	if plan.Kind == logical.KindViewScan || plan.Kind == logical.KindScan {
+		return 0
+	}
+	mat := MaterializedNodes(plan)
+	size := func(n *logical.Node) int64 { return s.est.Estimate(n).Bytes }
+	var sec float64
+	for n := range mat {
+		normal, serde := stageInput(n, mat, size)
+		sec += s.jobSeconds(normal, serde, s.est.Estimate(n).Bytes)
+	}
+	return sec
+}
+
+// EnforceBudget evicts least-recently-used views until the set fits in
+// budgetBytes. It returns the evicted views. This implements the simple LRU
+// policy used by the HV-OP and MS-LRU variants and HV temporary-space
+// trimming at reorganization time.
+func (s *Store) EnforceBudget(budgetBytes int64) []*views.View {
+	var evicted []*views.View
+	for s.Views.TotalBytes() > budgetBytes {
+		all := s.Views.All()
+		if len(all) == 0 {
+			break
+		}
+		lru := all[0]
+		for _, v := range all[1:] {
+			if v.LastUsedSeq < lru.LastUsedSeq ||
+				(v.LastUsedSeq == lru.LastUsedSeq && v.SizeBytes() > lru.SizeBytes()) {
+				lru = v
+			}
+		}
+		s.Views.Remove(lru.Name)
+		evicted = append(evicted, lru)
+	}
+	return evicted
+}

@@ -1,0 +1,194 @@
+package hv_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/hv"
+	"miso/internal/logical"
+	"miso/internal/stats"
+	"miso/internal/storage"
+)
+
+func setup(t *testing.T) (*storage.Catalog, *logical.Builder, *hv.Store) {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimator(cat)
+	return cat, logical.NewBuilder(cat), hv.NewStore(hv.DefaultConfig(), cat, est)
+}
+
+func build(t *testing.T, b *logical.Builder, sql string) *logical.Node {
+	t.Helper()
+	n, err := b.BuildSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMaterializedNodesBoundaries(t *testing.T) {
+	_, b, _ := setup(t)
+	plan := build(t, b, `SELECT l.city, COUNT(*) AS n FROM checkins c
+		JOIN landmarks l ON c.venue_id = l.venue_id
+		WHERE c.category = 'bar' GROUP BY l.city ORDER BY n DESC`)
+	mat := hv.MaterializedNodes(plan)
+	// Root, sort, aggregate, join, and both join inputs are materialized.
+	counts := map[logical.Kind]int{}
+	for n := range mat {
+		counts[n.Kind]++
+	}
+	if counts[logical.KindJoin] != 1 || counts[logical.KindAggregate] != 1 ||
+		counts[logical.KindSort] != 1 {
+		t.Errorf("boundary counts = %v", counts)
+	}
+	// The join's map-phase inputs materialize too.
+	if counts[logical.KindFilter]+counts[logical.KindExtract] < 2 {
+		t.Errorf("join inputs not materialized: %v", counts)
+	}
+}
+
+func TestExecuteCreatesOpportunisticViews(t *testing.T) {
+	_, b, store := setup(t)
+	plan := build(t, b, `SELECT lang, COUNT(*) AS n FROM tweets
+		WHERE retweets > 50 GROUP BY lang`)
+	res, err := store.Execute(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Stages < 2 {
+		t.Errorf("seconds=%.1f stages=%d", res.Seconds, res.Stages)
+	}
+	if len(res.NewViews) == 0 {
+		t.Fatal("no opportunistic views created")
+	}
+	if store.Views.Len() != len(res.NewViews) {
+		t.Errorf("store has %d views, result reports %d", store.Views.Len(), len(res.NewViews))
+	}
+	// Re-executing the identical plan creates nothing new.
+	res2, err := store.Execute(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.NewViews) != 0 {
+		t.Errorf("re-execution created %d views", len(res2.NewViews))
+	}
+}
+
+func TestViewDefsAreRawAndNormalized(t *testing.T) {
+	_, b, store := setup(t)
+	plan := build(t, b, "SELECT lang, COUNT(*) AS n FROM tweets WHERE retweets > 50 GROUP BY lang")
+	if _, err := store.Execute(plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Every view definition must be in base-data terms (no ViewScans) and
+	// normalized (no stacked filters, no identity projections).
+	for _, v := range store.Views.All() {
+		v.Def.Walk(func(n *logical.Node) {
+			if n.Kind == logical.KindViewScan {
+				t.Errorf("view %s def contains a ViewScan", v.Name)
+			}
+			if n.Kind == logical.KindFilter && n.Child(0).Kind == logical.KindFilter {
+				t.Errorf("view %s def has stacked filters", v.Name)
+			}
+		})
+	}
+}
+
+func TestCostPlanTracksExecution(t *testing.T) {
+	_, b, store := setup(t)
+	cheap := build(t, b, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	costly := build(t, b, `SELECT t.lang, COUNT(*) AS n FROM tweets t
+		JOIN checkins c ON t.user_id = c.user_id GROUP BY t.lang`)
+	if store.CostPlan(cheap) >= store.CostPlan(costly) {
+		t.Error("single-extract plan estimated costlier than the join plan")
+	}
+	// After execution, the estimate uses observed sizes and the real cost
+	// equals the re-estimated cost for the same plan.
+	res, err := store.Execute(cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := store.CostPlan(cheap)
+	if diff := re - res.Seconds; diff > 1 || diff < -1 {
+		t.Errorf("post-hoc estimate %.1f vs actual %.1f", re, res.Seconds)
+	}
+}
+
+func TestExpandViewsRestoresRawDefinition(t *testing.T) {
+	_, b, store := setup(t)
+	// The aggregate's map-phase input (the wide filtered extract) is one
+	// of the materialized stages, so it becomes a reusable view.
+	v1 := build(t, b, "SELECT lang, COUNT(*) AS n FROM tweets WHERE lang = 'en' GROUP BY lang")
+	if _, err := store.Execute(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite a refined query against the store's views, then expand.
+	refined := build(t, b, "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 100")
+	core := refined.Child(0)
+	m, ok := store.Views.BestMatch(core)
+	if !ok {
+		t.Fatal("no view match")
+	}
+	rw, err := m.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := store.ExpandViews(rw)
+	if expanded == nil {
+		t.Fatal("expansion failed")
+	}
+	if expanded.Signature() != core.Signature() {
+		t.Errorf("expanded signature differs:\n%s\n%s", expanded.Signature(), core.Signature())
+	}
+}
+
+func TestEnforceBudgetEvictsLRU(t *testing.T) {
+	_, b, store := setup(t)
+	for i, sql := range []string{
+		"SELECT tweet_id FROM tweets WHERE lang = 'en'",
+		"SELECT tweet_id FROM tweets WHERE lang = 'es'",
+	} {
+		if _, err := store.Execute(build(t, b, sql), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := store.Views.Len()
+	evicted := store.EnforceBudget(store.Views.TotalBytes() / 2)
+	if len(evicted) == 0 {
+		t.Fatal("nothing evicted")
+	}
+	if store.Views.Len() != before-len(evicted) {
+		t.Error("eviction accounting wrong")
+	}
+	// The survivors are the most recently used.
+	for _, v := range store.Views.All() {
+		for _, e := range evicted {
+			if v.LastUsedSeq < e.LastUsedSeq {
+				t.Errorf("kept %s (seq %d) but evicted %s (seq %d)",
+					v.Name, v.LastUsedSeq, e.Name, e.LastUsedSeq)
+			}
+		}
+	}
+}
+
+func TestCostScalesWithClusterSize(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(cat)
+	plan := build(t, b, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+
+	smallCfg := hv.DefaultConfig()
+	smallCfg.Nodes = 5
+	bigCfg := hv.DefaultConfig()
+	bigCfg.Nodes = 50
+	smallStore := hv.NewStore(smallCfg, cat, stats.NewEstimator(cat))
+	bigStore := hv.NewStore(bigCfg, cat, stats.NewEstimator(cat))
+	if smallStore.CostPlan(plan) <= bigStore.CostPlan(plan) {
+		t.Error("more nodes should lower IO-bound cost")
+	}
+}

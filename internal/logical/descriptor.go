@@ -1,0 +1,144 @@
+package logical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"miso/internal/expr"
+)
+
+// Descriptor summarizes what a subtree computes in a form that supports
+// subsumption-based view matching for SPJ (select-project-join) shapes:
+// a source skeleton (which logs are extracted and how they are joined,
+// ignoring filters), the set of filter conjuncts applied, and the columns
+// available. Non-SPJ subtrees (aggregates, sorts, limits) get Simple=false
+// and only match views by exact signature.
+type Descriptor struct {
+	// Simple is true when the subtree is a chain of Extract, Filter,
+	// Join, and pass-through Project operators.
+	Simple bool
+	// SourceSig identifies the join/extract skeleton with filters and
+	// field sets stripped, so views extracting a superset of fields can
+	// still serve the node.
+	SourceSig string
+	// Conjuncts maps canonical form to the filter conjuncts applied
+	// anywhere in the subtree.
+	Conjuncts map[string]expr.Expr
+	// Columns is the set of output column names.
+	Columns map[string]bool
+	// ColOrder is the output column order (matching the schema).
+	ColOrder []string
+	// HasUDF reports whether any expression in the subtree calls a UDF.
+	HasUDF bool
+}
+
+// HasAllColumns reports whether every name in cols is available.
+func (d *Descriptor) HasAllColumns(cols []string) bool {
+	for _, c := range cols {
+		if !d.Columns[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConjunctsSubsetOf reports whether d's conjuncts are a subset of other's.
+func (d *Descriptor) ConjunctsSubsetOf(other *Descriptor) bool {
+	for c := range d.Conjuncts {
+		if _, ok := other.Conjuncts[c]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ResidualConjuncts returns the conjuncts of d that are absent from view,
+// sorted by canonical form for determinism.
+func (d *Descriptor) ResidualConjuncts(view *Descriptor) []expr.Expr {
+	keys := make([]string, 0, len(d.Conjuncts))
+	for c := range d.Conjuncts {
+		if _, ok := view.Conjuncts[c]; !ok {
+			keys = append(keys, c)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		out[i] = d.Conjuncts[k]
+	}
+	return out
+}
+
+// Describe computes the descriptor of a subtree.
+func Describe(n *Node) *Descriptor {
+	d := &Descriptor{
+		Conjuncts: map[string]expr.Expr{},
+		Columns:   map[string]bool{},
+		HasUDF:    n.UsesUDF(),
+	}
+	for _, c := range n.Schema().Columns {
+		d.Columns[c.Name] = true
+		d.ColOrder = append(d.ColOrder, c.Name)
+	}
+	switch n.Kind {
+	case KindExtract:
+		d.Simple = true
+		d.SourceSig = fmt.Sprintf("extract(%s)", n.Children[0].LogName)
+	case KindFilter:
+		cd := Describe(n.Children[0])
+		d.Simple = cd.Simple
+		d.SourceSig = cd.SourceSig
+		for k, v := range cd.Conjuncts {
+			d.Conjuncts[k] = v
+		}
+		for _, c := range expr.Conjuncts(n.Pred) {
+			d.Conjuncts[c.Canon()] = c
+		}
+	case KindJoin:
+		ld := Describe(n.Children[0])
+		rd := Describe(n.Children[1])
+		d.Simple = ld.Simple && rd.Simple
+		keys := make([]string, len(n.LeftKeys))
+		for i := range n.LeftKeys {
+			keys[i] = n.LeftKeys[i] + "=" + n.RightKeys[i]
+		}
+		sort.Strings(keys)
+		d.SourceSig = fmt.Sprintf("join(%s,%s,%s,[%s])",
+			n.JoinType, ld.SourceSig, rd.SourceSig, strings.Join(keys, ","))
+		for k, v := range ld.Conjuncts {
+			d.Conjuncts[k] = v
+		}
+		for k, v := range rd.Conjuncts {
+			d.Conjuncts[k] = v
+		}
+	case KindProject:
+		cd := Describe(n.Children[0])
+		passThrough := true
+		for _, p := range n.Projs {
+			c, ok := p.Expr.(*expr.ColRef)
+			if !ok || c.Name != p.Name {
+				passThrough = false
+				break
+			}
+		}
+		if passThrough && cd.Simple {
+			d.Simple = true
+			d.SourceSig = cd.SourceSig
+			for k, v := range cd.Conjuncts {
+				d.Conjuncts[k] = v
+			}
+		} else {
+			d.Simple = false
+			d.SourceSig = n.Signature()
+		}
+	case KindViewScan:
+		// A view scan is opaque: only exact signature matching applies.
+		d.Simple = false
+		d.SourceSig = n.Signature()
+	default:
+		d.Simple = false
+		d.SourceSig = n.Signature()
+	}
+	return d
+}

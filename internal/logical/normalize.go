@@ -1,0 +1,53 @@
+package logical
+
+import (
+	"miso/internal/expr"
+)
+
+// Normalize rewrites a plan into a canonical shape without changing its
+// result: adjacent filters collapse into one (their conjunct sets union,
+// and Signature already sorts conjuncts), and identity projections — pass-
+// through columns in exactly the child's order — are dropped. Expanded view
+// definitions (ViewScan leaves replaced by their base-data subtrees)
+// acquire exactly the signature a raw plan for the same relation would
+// have, which is what makes opportunistic views created from rewritten
+// plans matchable by future raw queries.
+func Normalize(n *Node) *Node {
+	c := *n
+	c.sig = ""
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = Normalize(ch)
+	}
+	switch c.Kind {
+	case KindFilter:
+		child := c.Children[0]
+		if child.Kind == KindFilter {
+			merged := append(expr.Conjuncts(child.Pred), expr.Conjuncts(c.Pred)...)
+			c.Pred = expr.AndAll(merged)
+			c.Children = []*Node{child.Children[0]}
+		}
+	case KindProject:
+		child := c.Children[0]
+		if isIdentityProjection(c.Projs, child.Schema()) {
+			return child
+		}
+	}
+	return &c
+}
+
+func isIdentityProjection(projs []Proj, childSchema interface {
+	Len() int
+	Index(string) int
+}) bool {
+	if len(projs) != childSchema.Len() {
+		return false
+	}
+	for i, p := range projs {
+		col, ok := p.Expr.(*expr.ColRef)
+		if !ok || col.Name != p.Name || childSchema.Index(p.Name) != i {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+func TestCompareMisoHvop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale comparison")
+	}
+	miso := runSystemScale(t, multistore.VariantMSMiso, false)
+	hvop := runSystemScale(t, multistore.VariantHVOp, false)
+	names := workload.Evolving()
+	for i := range miso.Reports() {
+		m, h := miso.Reports()[i], hvop.Reports()[i]
+		flag := ""
+		if m.Total() > h.Total()*1.05 {
+			flag = "  <-- MISO WORSE"
+		}
+		t.Logf("%-5s miso(hv=%6.0f xf=%5.0f dw=%4.0f) hvop(hv=%6.0f)%s",
+			names[i].Name, m.HVSeconds, m.TransferSeconds, m.DWSeconds, h.HVSeconds, flag)
+	}
+}

@@ -1,0 +1,51 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+// TestDiagnostics prints view-size distributions and per-query store
+// utilization for MS-MISO; informational only (run with -v).
+func TestDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostics")
+	}
+	sys := runSystemScale(t, multistore.VariantMSMiso, false)
+	names := workload.Evolving()
+	bypass, split, hvOnly := 0, 0, 0
+	for i, rep := range sys.Reports() {
+		mode := "split"
+		switch {
+		case rep.HVOnly:
+			mode = "hv-only"
+			hvOnly++
+		case rep.BypassedHV:
+			mode = "BYPASS"
+			bypass++
+		default:
+			split++
+		}
+		t.Logf("%-5s %-7s hv=%7.0f xfer=%6.0f dw=%6.0f xferGB=%5.1f used=%d new=%d",
+			names[i].Name, mode, rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds,
+			float64(rep.TransferBytes)/1e9, len(rep.UsedViews), rep.NewViews)
+	}
+	t.Logf("modes: bypass=%d split=%d hvonly=%d", bypass, split, hvOnly)
+	for _, r := range sys.ReorgLog() {
+		t.Logf("reorg@%d: toDW=%d toHV=%d drop=%d bytesGB=%.1f sec=%.0f",
+			r.BeforeSeq, r.MovedToDW, r.MovedToHV, r.Dropped, float64(r.Bytes)/1e9, r.Seconds)
+	}
+	t.Logf("HV views=%d totalGB=%.1f | DW views=%d totalGB=%.1f",
+		sys.HV().Views.Len(), float64(sys.HV().Views.TotalBytes())/1e9,
+		sys.DW().Views.Len(), float64(sys.DW().Views.TotalBytes())/1e9)
+	for _, v := range sys.DW().Views.All() {
+		t.Logf("DW view %s %.2fGB rows=%d", v.Name, float64(v.SizeBytes())/1e9, v.Table.NumRows())
+	}
+	sizes := map[string]float64{}
+	for _, v := range sys.HV().Views.All() {
+		sizes[v.Name] = float64(v.SizeBytes()) / 1e9
+	}
+	t.Logf("HV view sizes (GB): %v", sizes)
+}

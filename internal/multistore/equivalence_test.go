@@ -1,0 +1,95 @@
+package multistore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"miso/internal/multistore"
+)
+
+// genQueries produces structured random queries over the catalog that are
+// guaranteed to parse and plan (invalid combinations are filtered by a dry
+// build on the HV-ONLY system).
+func genQueries(rng *rand.Rand, n int) []string {
+	tables := []struct {
+		name string
+		cols []string
+		text string
+	}{
+		{"tweets", []string{"tweet_id", "user_id", "ts", "hashtag", "lang", "retweets", "followers"}, "text"},
+		{"checkins", []string{"checkin_id", "user_id", "ts", "venue_id", "category"}, ""},
+		{"landmarks", []string{"venue_id", "name", "city", "category"}, ""},
+	}
+	joinKey := map[[2]string]string{
+		{"tweets", "checkins"}:    "user_id",
+		{"checkins", "landmarks"}: "venue_id",
+	}
+	var out []string
+	for len(out) < n {
+		ti := rng.Intn(len(tables))
+		ta := tables[ti]
+		var sql string
+		col := ta.cols[rng.Intn(len(ta.cols))]
+		switch rng.Intn(4) {
+		case 0: // filtered projection
+			sql = fmt.Sprintf("SELECT a.%s FROM %s a WHERE a.%s IS NOT NULL",
+				col, ta.name, ta.cols[rng.Intn(len(ta.cols))])
+		case 1: // grouped aggregate
+			sql = fmt.Sprintf("SELECT a.%s, COUNT(*) AS n FROM %s a GROUP BY a.%s ORDER BY n DESC LIMIT %d",
+				col, ta.name, col, 1+rng.Intn(20))
+		case 2: // join when a key exists
+			var tb string
+			var key string
+			for pair, k := range joinKey {
+				if pair[0] == ta.name {
+					tb, key = pair[1], k
+				} else if pair[1] == ta.name {
+					tb, key = pair[0], k
+				}
+			}
+			if tb == "" {
+				continue
+			}
+			sql = fmt.Sprintf("SELECT COUNT(*) AS n FROM %s a JOIN %s b ON a.%s = b.%s",
+				ta.name, tb, key, key)
+		default: // distinct
+			sql = fmt.Sprintf("SELECT DISTINCT a.%s FROM %s a LIMIT %d",
+				col, ta.name, 5+rng.Intn(30))
+		}
+		out = append(out, sql)
+	}
+	return out
+}
+
+// TestRandomQueryEquivalenceAcrossVariants is the strongest correctness
+// property in the repository: for randomly generated queries, every system
+// variant — with views, splits, and tuning engaged — must return exactly
+// the rows the plain HV-ONLY execution returns.
+func TestRandomQueryEquivalenceAcrossVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized equivalence is slow")
+	}
+	rng := rand.New(rand.NewSource(31))
+	queries := genQueries(rng, 40)
+
+	ref := newSystem(t, multistore.VariantHVOnly)
+	miso := newSystem(t, multistore.VariantMSMiso)
+	lru := newSystem(t, multistore.VariantMSLru)
+	for i, sql := range queries {
+		want, err := ref.Run(sql)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, sql, err)
+		}
+		for name, sys := range map[string]*multistore.System{"MS-MISO": miso, "MS-LRU": lru} {
+			got, err := sys.Run(sql)
+			if err != nil {
+				t.Fatalf("%s query %d (%s): %v", name, i, sql, err)
+			}
+			if !sameResults(got.Result, want.Result) {
+				t.Errorf("%s query %d (%s): results diverge (%d vs %d rows)",
+					name, i, sql, got.ResultRows, want.ResultRows)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/multistore"
+)
+
+// TestFig4Shape asserts the paper's Figure 4 ordering at paper scale:
+// MS-MISO < HV-OP < MS-BASIC < HV-ONLY < DW-ONLY.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	tti := map[multistore.Variant]float64{}
+	for _, v := range []multistore.Variant{
+		multistore.VariantHVOnly, multistore.VariantDWOnly, multistore.VariantMSBasic,
+		multistore.VariantHVOp, multistore.VariantMSMiso,
+	} {
+		m := runSystemScale(t, v, false).Metrics()
+		tti[v] = m.TTI()
+		t.Logf("%-9s TTI=%8.0f  hv=%8.0f dw=%6.0f xfer=%6.0f tune=%6.0f etl=%8.0f",
+			v, m.TTI(), m.HVExe, m.DWExe, m.Transfer, m.Tune, m.ETL)
+	}
+	order := []multistore.Variant{
+		multistore.VariantMSMiso, multistore.VariantHVOp, multistore.VariantMSBasic,
+		multistore.VariantHVOnly, multistore.VariantDWOnly,
+	}
+	for i := 1; i < len(order); i++ {
+		if tti[order[i-1]] >= tti[order[i]] {
+			t.Errorf("expected %s (%.0f) < %s (%.0f)",
+				order[i-1], tti[order[i-1]], order[i], tti[order[i]])
+		}
+	}
+	if sp := tti[multistore.VariantHVOnly] / tti[multistore.VariantMSMiso]; sp < 2.0 {
+		t.Errorf("MS-MISO speedup over HV-ONLY = %.2fx, want >= 2x", sp)
+	}
+}

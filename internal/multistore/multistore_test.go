@@ -1,0 +1,120 @@
+package multistore_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/multistore"
+	"miso/internal/storage"
+	"miso/internal/workload"
+)
+
+func runSystem(t *testing.T, v multistore.Variant) *multistore.System {
+	return runSystemScale(t, v, true)
+}
+
+func runSystemScale(t *testing.T, v multistore.Variant, small bool) *multistore.System {
+	t.Helper()
+	cfgData := data.DefaultConfig()
+	if small {
+		cfgData = data.SmallConfig()
+	}
+	cat, err := data.Generate(cfgData)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(v)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("%s query %d (%s): %v", v, i, workload.Evolving()[i].Name, err)
+		}
+	}
+	return sys
+}
+
+// rowFingerprint canonicalizes a result table to an order-independent
+// multiset fingerprint.
+func rowFingerprint(tb *storage.Table) []string {
+	out := make([]string, 0, tb.NumRows())
+	for _, r := range tb.Rows {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameResults(a, b *storage.Table) bool {
+	fa, fb := rowFingerprint(a), rowFingerprint(b)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVariantsAgreeOnResults is the core correctness property: every system
+// variant must return exactly the same rows for every query — views,
+// splits, and tuning are performance mechanisms only.
+func TestVariantsAgreeOnResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload comparison is slow")
+	}
+	ref := runSystem(t, multistore.VariantHVOnly)
+	for _, v := range []multistore.Variant{
+		multistore.VariantMSBasic,
+		multistore.VariantHVOp,
+		multistore.VariantMSMiso,
+		multistore.VariantMSLru,
+		multistore.VariantDWOnly,
+	} {
+		sys := runSystem(t, v)
+		for i, rep := range sys.Reports() {
+			refRep := ref.Reports()[i]
+			if !sameResults(rep.Result, refRep.Result) {
+				t.Errorf("%s query %d (%s): %d rows vs HV-ONLY %d rows or content mismatch",
+					v, i, workload.Evolving()[i].Name, rep.ResultRows, refRep.ResultRows)
+			}
+		}
+	}
+}
+
+func TestMisoBeatsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload comparison is slow")
+	}
+	hvOnly := runSystemScale(t, multistore.VariantHVOnly, false).Metrics()
+	basic := runSystemScale(t, multistore.VariantMSBasic, false).Metrics()
+	miso := runSystemScale(t, multistore.VariantMSMiso, false).Metrics()
+
+	t.Logf("HV-ONLY TTI=%.0f (hv=%.0f)", hvOnly.TTI(), hvOnly.HVExe)
+	t.Logf("MS-BASIC TTI=%.0f (hv=%.0f xfer=%.0f dw=%.0f)",
+		basic.TTI(), basic.HVExe, basic.Transfer, basic.DWExe)
+	t.Logf("MS-MISO TTI=%.0f (hv=%.0f xfer=%.0f dw=%.0f tune=%.0f)",
+		miso.TTI(), miso.HVExe, miso.Transfer, miso.DWExe, miso.Tune)
+
+	if miso.TTI() >= hvOnly.TTI() {
+		t.Errorf("MS-MISO (%.0f) not faster than HV-ONLY (%.0f)", miso.TTI(), hvOnly.TTI())
+	}
+	if miso.TTI() >= basic.TTI() {
+		t.Errorf("MS-MISO (%.0f) not faster than MS-BASIC (%.0f)", miso.TTI(), basic.TTI())
+	}
+	if miso.Reorgs == 0 {
+		t.Error("MS-MISO performed no reorganizations")
+	}
+}

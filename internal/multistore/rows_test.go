@@ -1,0 +1,23 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+func TestResultCardinalities(t *testing.T) {
+	sys := runSystem(t, multistore.VariantHVOnly)
+	zero := 0
+	for i, rep := range sys.Reports() {
+		if rep.ResultRows == 0 {
+			zero++
+			t.Logf("%s: 0 rows", workload.Evolving()[i].Name)
+		}
+	}
+	t.Logf("%d of 32 queries return no rows", zero)
+	if zero > 10 {
+		t.Errorf("too many empty results (%d); workload predicates too strict for the small dataset", zero)
+	}
+}

@@ -1,0 +1,78 @@
+package multistore
+
+import (
+	"fmt"
+	"strings"
+
+	"miso/internal/logical"
+)
+
+// AppendToLog ingests new records into a base log — the append-only update
+// model the paper's Section 6 sketches as future work. Opportunistic views
+// derived from the log become stale; this implementation invalidates them
+// conservatively: every view (in either store) whose definition scans the
+// log is dropped, and the statistics cache entries for subtrees over the
+// log are discarded so future estimates reflect the new size. Views over
+// other logs are untouched, and the next queries rebuild the dropped views
+// organically — the same opportunistic mechanism that created them.
+func (s *System) AppendToLog(name string, lines []string) (dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(name, lines)
+}
+
+func (s *System) appendLocked(name string, lines []string) (dropped int, err error) {
+	log, err := s.cat.Log(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(lines) == 0 {
+		return 0, nil
+	}
+	for _, l := range lines {
+		log.AppendLine(l)
+	}
+
+	scans := func(def *logical.Node) bool {
+		found := false
+		def.Walk(func(n *logical.Node) {
+			if n.Kind == logical.KindScan && n.LogName == name {
+				found = true
+			}
+		})
+		return found
+	}
+	for _, v := range s.hv.Views.All() {
+		if scans(v.Def) {
+			s.hv.Views.Remove(v.Name)
+			dropped++
+		}
+	}
+	for _, v := range s.dw.Views.All() {
+		if scans(v.Def) {
+			s.dw.Views.Remove(v.Name)
+			dropped++
+		}
+	}
+	s.est.InvalidateMatching(func(sig string) bool {
+		return strings.Contains(sig, "scan("+name+")")
+	})
+	return dropped, nil
+}
+
+// RefreshLog replaces a log wholesale (a new generation of the data set)
+// and invalidates everything derived from it.
+func (s *System) RefreshLog(name string, lines []string) (dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log, err := s.cat.Log(name)
+	if err != nil {
+		return 0, err
+	}
+	log.Reset()
+	dropped, err = s.appendLocked(name, lines)
+	if err != nil {
+		return dropped, fmt.Errorf("multistore: refresh %q: %w", name, err)
+	}
+	return dropped, nil
+}

@@ -1,0 +1,128 @@
+package multistore_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+func tweetLine(t *testing.T, id int64) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{
+		"tweet_id": id, "user_id": int64(1), "ts": int64(1357000000),
+		"text": "amazing burger #food", "hashtag": "food", "lang": "en",
+		"retweets": int64(300), "followers": int64(5000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestAppendToLogInvalidatesDerivedViews(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	sys := multistore.New(cfg, cat)
+
+	q1, _ := workload.ByName("A1v1") // touches tweets + checkins + landmarks
+	q2, _ := workload.ByName("A2v1") // touches checkins + landmarks only
+	rep1, err := sys.Run(q1.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(q2.SQL); err != nil {
+		t.Fatal(err)
+	}
+	if sys.HV().Views.Len() == 0 {
+		t.Fatal("no views to invalidate")
+	}
+
+	total := sys.HV().Views.Len() + sys.DW().Views.Len()
+	dropped, err := sys.AppendToLog(data.TweetsLog, []string{tweetLine(t, 1_000_001)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Error("appending to tweets invalidated nothing")
+	}
+	remaining := sys.HV().Views.Len() + sys.DW().Views.Len()
+	if remaining != total-dropped {
+		t.Errorf("views: %d before, %d dropped, %d remain", total, dropped, remaining)
+	}
+	// q2's checkins/landmarks views must survive a tweets append.
+	if remaining == 0 {
+		t.Error("append dropped views over unrelated logs")
+	}
+
+	// The query still runs correctly after invalidation.
+	rep1b, err := sys.Run(q1.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1b.ResultRows < rep1.ResultRows {
+		t.Errorf("post-append run lost rows: %d -> %d", rep1.ResultRows, rep1b.ResultRows)
+	}
+}
+
+func TestAppendChangesQueryResults(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	sys := multistore.New(cfg, cat)
+
+	count := `SELECT COUNT(*) AS n FROM tweets WHERE hashtag = 'food' AND retweets > 250`
+	before, err := sys.Run(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AppendToLog(data.TweetsLog, []string{
+		tweetLine(t, 2_000_001), tweetLine(t, 2_000_002),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Run(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Result.Rows[0][0].I != before.Result.Rows[0][0].I+2 {
+		t.Errorf("count %d -> %d, want +2",
+			before.Result.Rows[0][0].I, after.Result.Rows[0][0].I)
+	}
+}
+
+func TestRefreshLogReplacesData(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	sys := multistore.New(cfg, cat)
+
+	if _, err := sys.RefreshLog(data.TweetsLog, []string{
+		tweetLine(t, 1), tweetLine(t, 2), tweetLine(t, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run("SELECT COUNT(*) AS n FROM tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Rows[0][0].I != 3 {
+		t.Errorf("refreshed log has %d rows, want 3", rep.Result.Rows[0][0].I)
+	}
+
+	if _, err := sys.AppendToLog("no_such_log", []string{"{}"}); err == nil {
+		t.Error("append to unknown log succeeded")
+	}
+}

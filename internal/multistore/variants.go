@@ -1,0 +1,365 @@
+package multistore
+
+import (
+	"fmt"
+
+	"miso/internal/core"
+	"miso/internal/history"
+	"miso/internal/logical"
+	"miso/internal/optimizer"
+	"miso/internal/transfer"
+	"miso/internal/views"
+)
+
+func freshSet() *views.Set { return views.NewSet() }
+
+// runHVOnly executes the whole query in HV with no views.
+func (s *System) runHVOnly(e history.Entry) (*QueryReport, error) {
+	res, err := s.hv.Execute(e.Plan, e.Seq)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.HVExe += res.Seconds
+	return &QueryReport{
+		Seq: e.Seq, SQL: e.SQL,
+		HVSeconds:  res.Seconds,
+		HVOps:      countOps(e.Plan),
+		HVOnly:     true,
+		NewViews:   len(res.NewViews),
+		ResultRows: res.Table.NumRows(),
+		Result:     res.Table,
+	}, nil
+}
+
+// runHVOp executes in HV, reusing and retaining opportunistic views under
+// an LRU policy within the HV storage budget.
+func (s *System) runHVOp(e history.Entry) (*QueryReport, error) {
+	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
+	res, err := s.hv.Execute(plan, e.Seq)
+	if err != nil {
+		return nil, err
+	}
+	used := s.markUsedViews(plan, e.Seq)
+	views.EvictLRU(s.hv.Views, s.cfg.Tuner.Bh)
+	s.metrics.HVExe += res.Seconds
+	return &QueryReport{
+		Seq: e.Seq, SQL: e.SQL,
+		HVSeconds:  res.Seconds,
+		HVOps:      countOps(plan),
+		HVOnly:     true,
+		UsedViews:  used,
+		NewViews:   len(res.NewViews),
+		ResultRows: res.Table.NumRows(),
+		Result:     res.Table,
+	}, nil
+}
+
+// runDWOnly serves the query entirely from DW after the one-time ETL.
+func (s *System) runDWOnly(e history.Entry) (*QueryReport, error) {
+	if !s.etlDone {
+		if err := s.runETL(); err != nil {
+			return nil, err
+		}
+		s.etlDone = true
+	}
+	plan := optimizer.RewriteWithViews(e.Plan, s.dw.Views)
+	if hasRawScan(plan) {
+		return nil, fmt.Errorf("multistore: DW-ONLY query %d not covered by the ETL'd data", e.Seq)
+	}
+	res, err := s.dw.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	used := s.markUsedViews(plan, e.Seq)
+	s.metrics.DWExe += res.Seconds
+	return &QueryReport{
+		Seq: e.Seq, SQL: e.SQL,
+		DWSeconds:  res.Seconds,
+		DWOps:      countOps(plan),
+		BypassedHV: true,
+		UsedViews:  used,
+		ResultRows: res.Table.NumRows(),
+		Result:     res.Table,
+	}, nil
+}
+
+// runMultistore executes the optimizer's chosen split plan. Migrated
+// working sets live in DW temp space for the duration of the query only;
+// HV by-products accumulate in the store and callers that do not retain
+// them (MS-BASIC, MS-OFF) reset or trim the HV view set afterwards.
+func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryReport, error) {
+	mp, err := s.opt.Choose(e.Plan, d)
+	if err != nil {
+		return nil, err
+	}
+	rep := &QueryReport{Seq: e.Seq, SQL: e.SQL}
+	if mp.HVOnly {
+		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
+		if err != nil {
+			return nil, err
+		}
+		rep.HVSeconds = res.Seconds
+		rep.HVOps = countOps(mp.HVPlan)
+		rep.HVOnly = true
+		rep.NewViews = len(res.NewViews)
+		rep.ResultRows = res.Table.NumRows()
+		rep.Result = res.Table
+		rep.UsedViews = s.markUsedViews(mp.HVPlan, e.Seq)
+		s.metrics.HVExe += res.Seconds
+		return rep, nil
+	}
+
+	bypassed := true
+	for _, cut := range mp.Cuts {
+		if cut.DWView != nil {
+			continue // answered directly from a DW-resident view
+		}
+		bypassed = false
+		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
+		if err != nil {
+			return nil, err
+		}
+		rep.HVSeconds += res.Seconds
+		rep.HVOps += countOps(cut.HVPlan)
+		rep.NewViews += len(res.NewViews)
+		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
+
+		bytes := res.Table.LogicalBytes()
+		rep.TransferBytes += bytes
+		rep.TransferSeconds += transfer.Cost(s.cfg.Transfer, bytes).Total()
+		s.dw.StageTemp(cut.TempName, res.Table)
+	}
+	rep.BypassedHV = bypassed
+
+	dwRes, err := s.dw.Execute(mp.DWPart)
+	if err != nil {
+		return nil, err
+	}
+	rep.DWSeconds = dwRes.Seconds
+	rep.DWOps = countOps(mp.DWPart)
+	rep.ResultRows = dwRes.Table.NumRows()
+	rep.Result = dwRes.Table
+	rep.UsedViews = append(rep.UsedViews, s.markUsedViews(mp.DWPart, e.Seq)...)
+	s.dw.ClearTemp()
+
+	s.metrics.HVExe += rep.HVSeconds
+	s.metrics.Transfer += rep.TransferSeconds
+	s.metrics.DWExe += rep.DWSeconds
+	return rep, nil
+}
+
+// runMSLru is the passive tuner of the paper's Figure 7: only the working
+// sets transferred between the stores during query execution are retained,
+// as DW-resident views under an LRU policy — an access-based cache with no
+// benefit or interaction analysis. HV by-products are not retained (that
+// would be HV-OP's mechanism, not passive transfer caching).
+func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
+	mp, err := s.opt.Choose(e.Plan, s.Design())
+	if err != nil {
+		return nil, err
+	}
+	rep := &QueryReport{Seq: e.Seq, SQL: e.SQL}
+	if mp.HVOnly {
+		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
+		if err != nil {
+			return nil, err
+		}
+		rep.HVSeconds = res.Seconds
+		rep.HVOps = countOps(mp.HVPlan)
+		rep.HVOnly = true
+		rep.NewViews = len(res.NewViews)
+		rep.ResultRows = res.Table.NumRows()
+		rep.Result = res.Table
+		rep.UsedViews = s.markUsedViews(mp.HVPlan, e.Seq)
+		s.metrics.HVExe += res.Seconds
+		s.hv.Views = freshSet()
+		return rep, nil
+	}
+	bypassed := true
+	for _, cut := range mp.Cuts {
+		if cut.DWView != nil {
+			continue
+		}
+		bypassed = false
+		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
+		if err != nil {
+			return nil, err
+		}
+		rep.HVSeconds += res.Seconds
+		rep.HVOps += countOps(cut.HVPlan)
+		rep.NewViews += len(res.NewViews)
+		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
+		bytes := res.Table.LogicalBytes()
+		rep.TransferBytes += bytes
+		rep.TransferSeconds += transfer.Cost(s.cfg.Transfer, bytes).Total()
+		s.dw.StageTemp(cut.TempName, res.Table)
+
+		// Passive retention: the transferred working set becomes a DW
+		// view keyed by its base-data definition.
+		def := s.hv.ExpandViews(cut.Node)
+		if def != nil {
+			v := views.New(def, res.Table, e.Seq)
+			if !s.dw.Views.Has(v.Name) {
+				s.dw.Views.Add(v)
+			}
+		}
+	}
+	rep.BypassedHV = bypassed
+	dwRes, err := s.dw.Execute(mp.DWPart)
+	if err != nil {
+		return nil, err
+	}
+	rep.DWSeconds = dwRes.Seconds
+	rep.DWOps = countOps(mp.DWPart)
+	rep.ResultRows = dwRes.Table.NumRows()
+	rep.Result = dwRes.Table
+	rep.UsedViews = append(rep.UsedViews, s.markUsedViews(mp.DWPart, e.Seq)...)
+	s.dw.ClearTemp()
+
+	views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
+	s.hv.Views = freshSet()
+	s.metrics.HVExe += rep.HVSeconds
+	s.metrics.Transfer += rep.TransferSeconds
+	s.metrics.DWExe += rep.DWSeconds
+	return rep, nil
+}
+
+// reorg runs the MISO tuner over the window and applies the view
+// movements, charging their time to TUNE.
+func (s *System) reorg(w *history.Window) error {
+	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
+	r, err := tuner.Tune(s.Design(), w)
+	if err != nil {
+		return err
+	}
+	rec := ReorgRecord{
+		BeforeSeq: s.seq,
+		MovedToDW: len(r.MoveToDW),
+		MovedToHV: len(r.MoveToHV),
+		Dropped:   len(r.DropHV),
+		Bytes:     r.TransferBytes,
+	}
+	for _, v := range r.MoveToDW {
+		rec.Seconds += transfer.Cost(s.cfg.Transfer, v.SizeBytes()).Total()
+	}
+	for _, v := range r.MoveToHV {
+		rec.Seconds += transfer.CostToHV(s.cfg.Transfer, v.SizeBytes()).Total()
+	}
+	s.metrics.Tune += rec.Seconds
+	s.hv.Views = r.NewHV
+	s.dw.Views = r.NewDW
+	s.metrics.Reorgs++
+	s.reorgLog = append(s.reorgLog, rec)
+	return nil
+}
+
+// offlineTune (MS-OFF) models what a current offline design tool can do:
+// analyze the whole workload up-front (a dry run whose data is discarded)
+// and fix one target design. Views still only come into existence as
+// by-products of real query execution; realizing a chosen DW placement is
+// charged to TUNE when the view first appears.
+func (s *System) offlineTune() error {
+	if len(s.future) == 0 {
+		return fmt.Errorf("multistore: MS-OFF requires ProvideFutureWorkload")
+	}
+	for _, e := range s.future {
+		if _, err := s.hv.Execute(e.Plan, e.Seq); err != nil {
+			return fmt.Errorf("multistore: offline analysis of query %d: %w", e.Seq, err)
+		}
+	}
+	w := history.NewWindow(len(s.future), len(s.future), 1.0)
+	for _, e := range s.future {
+		w.Add(e)
+	}
+	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
+	r, err := tuner.Tune(s.Design(), w)
+	if err != nil {
+		return err
+	}
+	s.offTargetHV = map[string]bool{}
+	s.offTargetDW = map[string]bool{}
+	for _, v := range r.NewHV.All() {
+		s.offTargetHV[v.Name] = true
+	}
+	for _, v := range r.NewDW.All() {
+		s.offTargetDW[v.Name] = true
+	}
+	// The dry run's materializations are analysis artifacts, not free
+	// physical design: discard them.
+	s.hv.Views = freshSet()
+	s.dw.Views = freshSet()
+	return nil
+}
+
+// trimHVToDesign enforces the fixed offline design after each query: new
+// by-products that the design chose for DW are transferred (charged to
+// TUNE and logged as a movement before the next query), ones chosen for HV
+// are kept, everything else is dropped.
+func (s *System) trimHVToDesign() {
+	rec := ReorgRecord{BeforeSeq: s.seq + 1}
+	for _, v := range s.hv.Views.All() {
+		switch {
+		case s.offTargetDW[v.Name]:
+			if !s.dw.Views.Has(v.Name) {
+				rec.Seconds += transfer.Cost(s.cfg.Transfer, v.SizeBytes()).Total()
+				rec.Bytes += v.SizeBytes()
+				rec.MovedToDW++
+				s.dw.Views.Add(v)
+			}
+			s.hv.Views.Remove(v.Name)
+		case s.offTargetHV[v.Name]:
+			// Keep.
+		default:
+			s.hv.Views.Remove(v.Name)
+			rec.Dropped++
+		}
+	}
+	views.EvictLRU(s.hv.Views, s.cfg.Tuner.Bh)
+	if rec.MovedToDW > 0 {
+		s.metrics.Tune += rec.Seconds
+		s.reorgLog = append(s.reorgLog, rec)
+	}
+}
+
+// markUsedViews bumps LastUsedSeq on every view the plan reads and returns
+// their names.
+func (s *System) markUsedViews(plan *logical.Node, seq int) []string {
+	var used []string
+	plan.Walk(func(n *logical.Node) {
+		if n.Kind != logical.KindViewScan {
+			return
+		}
+		if v, ok := s.hv.Views.Get(n.ViewName); ok {
+			v.LastUsedSeq = seq
+			used = append(used, n.ViewName)
+			return
+		}
+		if v, ok := s.dw.Views.Get(n.ViewName); ok {
+			v.LastUsedSeq = seq
+			used = append(used, n.ViewName)
+		}
+	})
+	return used
+}
+
+// countOps counts executable operators in a plan (Scan leaves excluded).
+func countOps(plan *logical.Node) int {
+	n := 0
+	plan.Walk(func(m *logical.Node) {
+		if m.Kind != logical.KindScan {
+			n++
+		}
+	})
+	return n
+}
+
+// hasRawScan reports whether the plan still reads raw logs.
+func hasRawScan(plan *logical.Node) bool {
+	found := false
+	plan.Walk(func(n *logical.Node) {
+		if n.Kind == logical.KindScan || n.Kind == logical.KindExtract {
+			found = true
+		}
+	})
+	return found
+}

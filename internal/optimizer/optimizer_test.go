@@ -1,0 +1,225 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/dw"
+	"miso/internal/exec"
+	"miso/internal/hv"
+	"miso/internal/logical"
+	"miso/internal/optimizer"
+	"miso/internal/stats"
+	"miso/internal/storage"
+	"miso/internal/transfer"
+	"miso/internal/views"
+)
+
+type fixture struct {
+	cat *storage.Catalog
+	b   *logical.Builder
+	est *stats.Estimator
+	hv  *hv.Store
+	dw  *dw.Store
+	opt *optimizer.Optimizer
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimator(cat)
+	h := hv.NewStore(hv.DefaultConfig(), cat, est)
+	d := dw.NewStore(dw.DefaultConfig(), est)
+	return &fixture{
+		cat: cat, b: logical.NewBuilder(cat), est: est, hv: h, dw: d,
+		opt: optimizer.New(h, d, est, transfer.DefaultConfig()),
+	}
+}
+
+func (f *fixture) plan(t *testing.T, sql string) *logical.Node {
+	t.Helper()
+	p, err := f.b.BuildSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const joinAgg = `SELECT l.city, COUNT(*) AS n FROM checkins c
+	JOIN landmarks l ON c.venue_id = l.venue_id
+	WHERE c.category = 'bar' GROUP BY l.city`
+
+func TestEnumeratePlansIncludesHVOnlyAndSplits(t *testing.T) {
+	f := setup(t)
+	plans := f.opt.EnumeratePlans(f.plan(t, joinAgg), optimizer.EmptyDesign())
+	if len(plans) < 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	if !plans[0].HVOnly {
+		t.Error("first plan should be HV-only")
+	}
+	splits := 0
+	for _, p := range plans[1:] {
+		if p.HVOnly {
+			t.Error("duplicate HV-only plan")
+		}
+		if p.DWPart == nil {
+			t.Error("split plan without a DW part")
+		}
+		splits++
+	}
+	if splits == 0 {
+		t.Error("no split plans enumerated")
+	}
+}
+
+func TestSplitPlansKeepUDFsInHV(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, `SELECT lang, COUNT(*) AS n FROM tweets
+		WHERE SENTIMENT(text) > 0 GROUP BY lang`)
+	for _, mp := range f.opt.EnumeratePlans(p, optimizer.EmptyDesign()) {
+		if mp.HVOnly {
+			continue
+		}
+		if mp.DWPart.UsesUDF() {
+			t.Fatal("a split plan put UDF work in DW")
+		}
+	}
+}
+
+func TestSplitExecutionMatchesHVOnly(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, joinAgg)
+	hvRes, err := f.hv.Execute(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute every enumerated split for real and compare row counts.
+	for i, mp := range f.opt.EnumeratePlans(p, optimizer.EmptyDesign()) {
+		if mp.HVOnly {
+			continue
+		}
+		for _, cut := range mp.Cuts {
+			if cut.DWView != nil {
+				continue
+			}
+			res, err := f.hv.Execute(cut.HVPlan, 0)
+			if err != nil {
+				t.Fatalf("plan %d cut: %v", i, err)
+			}
+			f.dw.StageTemp(cut.TempName, res.Table)
+		}
+		dwRes, err := f.dw.Execute(mp.DWPart)
+		if err != nil {
+			t.Fatalf("plan %d DW part: %v", i, err)
+		}
+		if dwRes.Table.NumRows() != hvRes.Table.NumRows() {
+			t.Errorf("plan %d: %d rows, HV-only %d",
+				i, dwRes.Table.NumRows(), hvRes.Table.NumRows())
+		}
+		f.dw.ClearTemp()
+	}
+}
+
+func TestChoosePicksCheapest(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, joinAgg)
+	d := optimizer.EmptyDesign()
+	plans := f.opt.EnumeratePlans(p, d)
+	best, err := f.opt.Choose(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range plans {
+		if mp.EstTotal() < best.EstTotal() {
+			t.Errorf("Choose returned %.1f, but a plan costs %.1f", best.EstTotal(), mp.EstTotal())
+		}
+	}
+}
+
+func TestDWResidentViewEnablesBypass(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, joinAgg)
+	// Materialize the query's join core and place it in DW.
+	core := p.Child(0).Child(0) // aggregate -> join chain
+	for core.Kind == logical.KindFilter {
+		core = core.Child(0)
+	}
+	if core.Kind != logical.KindJoin {
+		// Walk down from the root to the join.
+		p.Walk(func(n *logical.Node) {
+			if n.Kind == logical.KindJoin {
+				core = n
+			}
+		})
+	}
+	table, err := exec.Run(core, f.hv.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := views.New(core, table, 0)
+	f.dw.Views.Add(v)
+	f.est.RecordView(v.Name, stats.Stat{Rows: int64(table.NumRows()), Bytes: table.LogicalBytes()})
+
+	d := optimizer.Design{HV: views.NewSet(), DW: f.dw.Views}
+	best, err := f.opt.Choose(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.HVOnly {
+		t.Fatal("optimizer ignored the DW view")
+	}
+	allFromDW := true
+	for _, cut := range best.Cuts {
+		if cut.DWView == nil {
+			allFromDW = false
+		}
+	}
+	if !allFromDW {
+		t.Error("expected a full bypass via the DW-resident join view")
+	}
+	if best.EstHV != 0 || best.EstTransfer != 0 {
+		t.Errorf("bypass should cost no HV/transfer time: hv=%.1f xfer=%.1f",
+			best.EstHV, best.EstTransfer)
+	}
+}
+
+func TestHVViewLowersHVCost(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, joinAgg)
+	empty := optimizer.EmptyDesign()
+	coldCost := f.opt.Cost(p, empty)
+
+	// Execute once so opportunistic views exist in HV.
+	if _, err := f.hv.Execute(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	warm := optimizer.Design{HV: f.hv.Views, DW: views.NewSet()}
+	warmCost := f.opt.Cost(p, warm)
+	if warmCost >= coldCost {
+		t.Errorf("warm cost %.1f not below cold %.1f", warmCost, coldCost)
+	}
+}
+
+func TestRewriteWithViewsIdentityWhenEmpty(t *testing.T) {
+	f := setup(t)
+	p := f.plan(t, joinAgg)
+	if got := optimizer.RewriteWithViews(p, views.NewSet()); got != p {
+		t.Error("empty set rewrite should return the plan unchanged")
+	}
+	if got := optimizer.RewriteWithViews(p, nil); got != p {
+		t.Error("nil set rewrite should return the plan unchanged")
+	}
+}
+
+func TestDisableSplitsRestrictsToHVOnly(t *testing.T) {
+	f := setup(t)
+	f.opt.DisableSplits = true
+	plans := f.opt.EnumeratePlans(f.plan(t, joinAgg), optimizer.EmptyDesign())
+	if len(plans) != 1 || !plans[0].HVOnly {
+		t.Errorf("DisableSplits produced %d plans", len(plans))
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+)
+
+func timeline() []Event {
+	return []Event{
+		{Kind: EventHV, Seconds: 1000},
+		{Kind: EventReorg, Seconds: 50},
+		{Kind: EventHV, Seconds: 500},
+		{Kind: EventTransfer, Seconds: 30},
+		{Kind: EventDW, Seconds: 20},
+	}
+}
+
+func TestNoBackgroundNoSlowdown(t *testing.T) {
+	bg := Background{Name: "idle", IOShare: 0, CPUShare: 0, BaseLatency: 1}
+	o := Simulate(timeline(), bg, 10)
+	if o.BgSlowdownPct != 0 || o.MsSlowdownPct != 0 {
+		t.Errorf("idle DW still slowed: bg=%.2f ms=%.2f", o.BgSlowdownPct, o.MsSlowdownPct)
+	}
+	if o.AvgBgLatency != 1 {
+		t.Errorf("avg latency = %v", o.AvgBgLatency)
+	}
+}
+
+func TestContentionOnlyDuringDWPhases(t *testing.T) {
+	bg := Scenarios()[0] // 40% spare IO
+	o := Simulate(timeline(), bg, 5)
+	for _, s := range o.Samples {
+		if s.Kind == EventHV && s.BgLatency != bg.BaseLatency {
+			t.Fatalf("HV phase affected the DW background: %+v", s)
+		}
+	}
+	// Transfers must spike the background latency.
+	sawSpike := false
+	for _, s := range o.Samples {
+		if (s.Kind == EventTransfer || s.Kind == EventReorg) && s.BgLatency > bg.BaseLatency {
+			sawSpike = true
+		}
+	}
+	if !sawSpike {
+		t.Error("no latency spike during transfers")
+	}
+	if o.PeakBgLatency <= bg.BaseLatency {
+		t.Error("peak latency not above base")
+	}
+}
+
+func TestTighterSpareCapacityHurtsMore(t *testing.T) {
+	ev := timeline()
+	io40 := Simulate(ev, Scenarios()[0], 10)
+	io20 := Simulate(ev, Scenarios()[1], 10)
+	if io20.BgSlowdownPct <= io40.BgSlowdownPct {
+		t.Errorf("20%% spare (%.2f%%) should hurt more than 40%% (%.2f%%)",
+			io20.BgSlowdownPct, io40.BgSlowdownPct)
+	}
+	if io20.MsSlowdownPct <= io40.MsSlowdownPct {
+		t.Errorf("multistore slowdown should grow with contention")
+	}
+}
+
+func TestSlowdownsStaySmall(t *testing.T) {
+	// The Table 2 claim: both directions of interference remain small
+	// because DW-heavy phases are a small fraction of the run.
+	for _, bg := range Scenarios() {
+		o := Simulate(timeline(), bg, 10)
+		if o.BgSlowdownPct > 10 {
+			t.Errorf("%s: DW slowdown %.1f%% too large", bg.Name, o.BgSlowdownPct)
+		}
+		if o.MsSlowdownPct > 10 {
+			t.Errorf("%s: MS slowdown %.1f%% too large", bg.Name, o.MsSlowdownPct)
+		}
+	}
+}
+
+func TestSamplesCoverTimeline(t *testing.T) {
+	o := Simulate(timeline(), Scenarios()[0], 10)
+	if len(o.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i := 1; i < len(o.Samples); i++ {
+		if o.Samples[i].T < o.Samples[i-1].T {
+			t.Fatal("samples not in time order")
+		}
+	}
+	total := TotalSeconds(timeline())
+	last := o.Samples[len(o.Samples)-1].T
+	if last < total*0.9 {
+		t.Errorf("samples end at %.0f, timeline is %.0f", last, total)
+	}
+}
+
+func TestDemandProfile(t *testing.T) {
+	for _, k := range []EventKind{EventHV, EventIdle} {
+		if io, cpu := (Event{Kind: k}).Demand(); io != 0 || cpu != 0 {
+			t.Errorf("%v should have no DW demand", k)
+		}
+	}
+	tio, _ := (Event{Kind: EventTransfer}).Demand()
+	dio, dcpu := (Event{Kind: EventDW}).Demand()
+	if tio <= dio {
+		t.Error("transfers should press IO harder than query execution")
+	}
+	if dcpu <= 0 {
+		t.Error("DW execution needs CPU")
+	}
+}

@@ -1,0 +1,253 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is the interface implemented by all expression AST nodes.
+type Expr interface {
+	exprNode()
+	// SQL renders the expression back to SQL text (used for error
+	// messages and canonical signatures downstream).
+	SQL() string
+}
+
+// Ident is a possibly qualified column reference (table.col or col).
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+func (*Ident) exprNode() {}
+
+// SQL implements Expr.
+func (e *Ident) SQL() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+// Literal is a typed constant: int64, float64, string, bool, or nil (NULL).
+type Literal struct {
+	Value any
+}
+
+func (*Literal) exprNode() {}
+
+// SQL implements Expr.
+func (e *Literal) SQL() string {
+	switch v := e.Value.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case bool:
+		if v {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Binary is a binary operation. Op is one of the SQL operators in upper
+// case: AND OR = != < <= > >= + - * / % LIKE.
+type Binary struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*Binary) exprNode() {}
+
+// SQL implements Expr.
+func (e *Binary) SQL() string {
+	return "(" + e.Left.SQL() + " " + e.Op + " " + e.Right.SQL() + ")"
+}
+
+// Unary is NOT or unary minus.
+type Unary struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+func (*Unary) exprNode() {}
+
+// SQL implements Expr.
+func (e *Unary) SQL() string { return "(" + e.Op + " " + e.Expr.SQL() + ")" }
+
+// Call is a function call: builtin scalar, aggregate, or UDF. Star marks
+// COUNT(*).
+type Call struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*Call) exprNode() {}
+
+// SQL implements Expr.
+func (e *Call) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.SQL()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (*IsNull) exprNode() {}
+
+// SQL implements Expr.
+func (e *IsNull) SQL() string {
+	if e.Negate {
+		return "(" + e.Expr.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.Expr.SQL() + " IS NULL)"
+}
+
+// InList is "expr [NOT] IN (v1, v2, ...)".
+type InList struct {
+	Expr   Expr
+	Items  []Expr
+	Negate bool
+}
+
+func (*InList) exprNode() {}
+
+// SQL implements Expr.
+func (e *InList) SQL() string {
+	items := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		items[i] = it.SQL()
+	}
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return "(" + e.Expr.SQL() + " " + not + "IN (" + strings.Join(items, ", ") + "))"
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// JoinType distinguishes inner from left outer joins.
+type JoinType int
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+)
+
+func (t JoinType) String() string {
+	if t == LeftJoin {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// TableRef is a FROM-clause item: either a named base log or a derived
+// table (subquery) with a mandatory alias.
+type TableRef struct {
+	Name     string
+	Alias    string
+	Subquery *Query
+}
+
+// EffectiveName returns the name this table is referenced by in expressions.
+func (t *TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is one JOIN ... ON pairing in the FROM clause.
+type JoinClause struct {
+	Type  JoinType
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is the root AST node for a SELECT statement.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// WalkExprs calls fn for every expression in the query, excluding those in
+// nested subqueries.
+func (q *Query) WalkExprs(fn func(Expr)) {
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch v := e.(type) {
+		case *Binary:
+			walk(v.Left)
+			walk(v.Right)
+		case *Unary:
+			walk(v.Expr)
+		case *Call:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *IsNull:
+			walk(v.Expr)
+		case *InList:
+			walk(v.Expr)
+			for _, it := range v.Items {
+				walk(it)
+			}
+		}
+	}
+	for _, s := range q.Select {
+		walk(s.Expr)
+	}
+	for _, j := range q.Joins {
+		walk(j.On)
+	}
+	walk(q.Where)
+	for _, g := range q.GroupBy {
+		walk(g)
+	}
+	walk(q.Having)
+	for _, o := range q.OrderBy {
+		walk(o.Expr)
+	}
+}

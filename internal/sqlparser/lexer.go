@@ -1,0 +1,174 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// HiveQL subset used by the multistore workload: SELECT queries with joins,
+// WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, derived tables, scalar function
+// calls (including HV-only UDFs), and the usual literal and operator forms.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+)
+
+// Token is one lexeme with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "ON": true, "AND": true,
+	"OR": true, "NOT": true, "LIKE": true, "IN": true, "BETWEEN": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "IS": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "UNION": true, "ALL": true,
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for unterminated strings and
+// illegal characters.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sqlparser: unterminated string at offset %d", start)
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!=", "=="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return Token{Kind: TokSymbol, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),*=<>+-/%.", rune(c)) {
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sqlparser: illegal character %q at offset %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize runs the lexer to completion, returning all tokens including the
+// trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return q, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// never consumed, so errors reported after premature input end stay in
+// range.
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+func (p *Parser) backup()     { p.pos-- }
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	q.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	for {
+		jt, ok := p.acceptJoin()
+		if !ok {
+			break
+		}
+		tbl, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, JoinClause{Type: jt, Table: tbl, On: on})
+	}
+
+	if p.acceptKeyword("WHERE") {
+		q.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		q.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected number after LIMIT, found %s", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *Parser) acceptJoin() (JoinType, bool) {
+	switch {
+	case p.acceptKeyword("JOIN"):
+		return InnerJoin, true
+	case p.acceptKeyword("INNER"):
+		if p.acceptKeyword("JOIN") {
+			return InnerJoin, true
+		}
+		p.backup()
+		return 0, false
+	case p.acceptKeyword("LEFT"):
+		p.acceptKeyword("OUTER")
+		if p.acceptKeyword("JOIN") {
+			return LeftJoin, true
+		}
+		p.backup()
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.Kind != TokIdent && t.Kind != TokString {
+			return SelectItem{}, p.errorf("expected alias after AS, found %s", t)
+		}
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.pos++
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return TableRef{}, err
+		}
+		p.acceptKeyword("AS")
+		t := p.next()
+		if t.Kind != TokIdent {
+			return TableRef{}, p.errorf("derived table requires an alias, found %s", t)
+		}
+		return TableRef{Subquery: sub, Alias: t.Text}, nil
+	}
+	t := p.next()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errorf("expected table name, found %s", t)
+	}
+	ref := TableRef{Name: t.Text}
+	if p.acceptKeyword("AS") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errorf("expected alias after AS, found %s", a)
+		}
+		ref.Alias = a.Text
+	} else if a := p.peek(); a.Kind == TokIdent {
+		p.pos++
+		ref.Alias = a.Text
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// OR -> AND -> NOT -> comparison (= != < <= > >= LIKE IN IS) -> additive ->
+// multiplicative -> unary minus -> primary.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Expr: left, Negate: neg}, nil
+	}
+	if p.acceptKeyword("NOT") {
+		if !p.acceptKeyword("IN") {
+			return nil, p.errorf("expected IN after NOT, found %s", p.peek())
+		}
+		return p.parseInList(left, true)
+	}
+	if p.acceptKeyword("IN") {
+		return p.parseInList(left, false)
+	}
+	if p.acceptKeyword("LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "LIKE", Left: left, Right: right}, nil
+	}
+	if t := p.peek(); t.Kind == TokSymbol {
+		op := t.Text
+		switch op {
+		case "=", "==", "!=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			if op == "==" {
+				op = "="
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseInList(left Expr, negate bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var items []Expr
+	for {
+		it, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &InList{Expr: left, Items: items, Negate: negate}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "+", Left: left, Right: right}
+		case p.acceptSymbol("-"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "-", Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "*", Left: left, Right: right}
+		case p.acceptSymbol("/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "/", Left: left, Right: right}
+		case p.acceptSymbol("%"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "%", Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			switch v := lit.Value.(type) {
+			case int64:
+				return &Literal{Value: -v}, nil
+			case float64:
+				return &Literal{Value: -v}, nil
+			}
+		}
+		return &Unary{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokNumber:
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Literal{Value: n}, nil
+	case TokString:
+		return &Literal{Value: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			return &Literal{Value: nil}, nil
+		case "TRUE":
+			return &Literal{Value: true}, nil
+		case "FALSE":
+			return &Literal{Value: false}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokSymbol:
+		if t.Text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case TokIdent:
+		// Function call?
+		if p.acceptSymbol("(") {
+			call := &Call{Name: strings.ToUpper(t.Text)}
+			if p.acceptSymbol("*") {
+				call.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptSymbol(")") {
+				return call, nil
+			}
+			call.Distinct = p.acceptKeyword("DISTINCT")
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified name?
+		if p.acceptSymbol(".") {
+			n := p.next()
+			if n.Kind != TokIdent {
+				return nil, p.errorf("expected column after %q., found %s", t.Text, n)
+			}
+			return &Ident{Qualifier: t.Text, Name: n.Text}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}

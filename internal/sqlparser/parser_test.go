@@ -1,0 +1,233 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 'it''s' FROM t WHERE x >= 1.5 -- trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokSymbol, TokString, TokKeyword,
+		TokIdent, TokKeyword, TokIdent, TokSymbol, TokNumber, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (kind %v), want kind %v", i, toks[i], toks[i].Kind, k)
+		}
+	}
+	if toks[3].Text != "it's" {
+		t.Errorf("escaped string = %q", toks[3].Text)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Tokenize("SELECT a ; b"); err == nil {
+		t.Error("illegal character accepted")
+	}
+}
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, "SELECT a, b AS bee, COUNT(*) n FROM t WHERE a = 1 LIMIT 3")
+	if len(q.Select) != 3 {
+		t.Fatalf("select items = %d", len(q.Select))
+	}
+	if q.Select[1].Alias != "bee" || q.Select[2].Alias != "n" {
+		t.Errorf("aliases = %q, %q", q.Select[1].Alias, q.Select[2].Alias)
+	}
+	call, ok := q.Select[2].Expr.(*Call)
+	if !ok || !call.Star || call.Name != "COUNT" {
+		t.Errorf("COUNT(*) parsed as %#v", q.Select[2].Expr)
+	}
+	if q.From.Name != "t" || q.Limit != 3 {
+		t.Errorf("from=%q limit=%d", q.From.Name, q.Limit)
+	}
+	if q.Where == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y`)
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	if q.Joins[0].Type != InnerJoin || q.Joins[1].Type != LeftJoin {
+		t.Errorf("join types = %v %v", q.Joins[0].Type, q.Joins[1].Type)
+	}
+	on, ok := q.Joins[0].On.(*Binary)
+	if !ok || on.Op != "=" {
+		t.Fatalf("on expr = %#v", q.Joins[0].On)
+	}
+	l := on.Left.(*Ident)
+	if l.Qualifier != "a" || l.Name != "x" {
+		t.Errorf("qualified ident = %+v", l)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := q.Where.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %#v", q.Where)
+	}
+	and, ok := or.Right.(*Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND should bind tighter: %#v", or.Right)
+	}
+
+	q = mustParse(t, "SELECT a + b * c FROM t")
+	add, ok := q.Select[0].Expr.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("arith top = %#v", q.Select[0].Expr)
+	}
+	if mul, ok := add.Right.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("* should bind tighter: %#v", add.Right)
+	}
+}
+
+func TestParseComparisonForms(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t WHERE a <> 1 AND b == 2 AND c LIKE 'x%'
+		AND d IS NOT NULL AND e IN (1, 2) AND f NOT IN (3) AND NOT g`)
+	var ops []string
+	q.WalkExprs(func(e Expr) {
+		switch v := e.(type) {
+		case *Binary:
+			ops = append(ops, v.Op)
+		case *IsNull:
+			if !v.Negate {
+				t.Error("IS NOT NULL lost negation")
+			}
+		case *InList:
+			if len(v.Items) == 1 && !v.Negate {
+				t.Error("NOT IN lost negation")
+			}
+		case *Unary:
+			if v.Op != "NOT" {
+				t.Errorf("unary op %q", v.Op)
+			}
+		}
+	})
+	joined := strings.Join(ops, " ")
+	if !strings.Contains(joined, "!=") {
+		t.Errorf("<> not normalized to !=: %v", ops)
+	}
+	if !strings.Contains(joined, "LIKE") {
+		t.Errorf("LIKE missing: %v", ops)
+	}
+	if strings.Contains(joined, "==") {
+		t.Errorf("== not normalized to =: %v", ops)
+	}
+}
+
+func TestParseGroupHavingOrder(t *testing.T) {
+	q := mustParse(t, `SELECT a, COUNT(*) AS n FROM t GROUP BY a
+		HAVING COUNT(*) > 5 ORDER BY n DESC, a ASC`)
+	if len(q.GroupBy) != 1 || q.Having == nil {
+		t.Fatal("group/having missing")
+	}
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order items = %d", len(q.OrderBy))
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Error("order directions wrong")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q := mustParse(t, `SELECT u.n FROM (SELECT a, COUNT(*) AS n FROM t GROUP BY a) u
+		JOIN s ON u.a = s.a`)
+	if q.From.Subquery == nil || q.From.Alias != "u" {
+		t.Fatalf("derived table = %+v", q.From)
+	}
+	if len(q.From.Subquery.GroupBy) != 1 {
+		t.Error("nested group by lost")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT DISTINCT a FROM t")
+	if !q.Distinct {
+		t.Error("DISTINCT lost")
+	}
+	q = mustParse(t, "SELECT COUNT(DISTINCT a) FROM t")
+	call := q.Select[0].Expr.(*Call)
+	if !call.Distinct {
+		t.Error("COUNT(DISTINCT) lost")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT 1, -2, 3.5, 'x', TRUE, FALSE, NULL FROM t")
+	want := []any{int64(1), int64(-2), 3.5, "x", true, false, nil}
+	for i, w := range want {
+		lit, ok := q.Select[i].Expr.(*Literal)
+		if !ok {
+			t.Fatalf("item %d = %#v", i, q.Select[i].Expr)
+		}
+		if lit.Value != w {
+			t.Errorf("literal %d = %v (%T), want %v (%T)", i, lit.Value, lit.Value, w, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",                        // no FROM
+		"SELECT a FROM",                   // no table
+		"SELECT a FROM t WHERE",           // dangling where
+		"SELECT a FROM t GROUP a",         // GROUP without BY
+		"SELECT a FROM t LIMIT x",         // non-numeric limit
+		"SELECT a FROM (SELECT b FROM t)", // derived table without alias
+		"SELECT a FROM t JOIN s",          // join without ON
+		"SELECT a FROM t extra garbage tokens (",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestExprSQLRoundtrips(t *testing.T) {
+	// SQL() output of a parsed expression must re-parse to an equivalent
+	// expression (same SQL rendering).
+	exprs := []string{
+		"(a = 1)", "((a = 1) AND (b < 2))", "(name LIKE 'x%')",
+		"((a + b) * 2)", "(t.col IS NULL)", "(a IN (1, 2, 3))",
+		"F(a, 'lit')", "(NOT (a = b))",
+	}
+	for _, e := range exprs {
+		q1 := mustParse(t, "SELECT "+e+" FROM t")
+		sql := q1.Select[0].Expr.SQL()
+		q2 := mustParse(t, "SELECT "+sql+" FROM t")
+		if q2.Select[0].Expr.SQL() != sql {
+			t.Errorf("roundtrip %q -> %q -> %q", e, sql, q2.Select[0].Expr.SQL())
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, "select a from t where a = 1 group by a order by a limit 1")
+	if len(q.GroupBy) != 1 || len(q.OrderBy) != 1 || q.Limit != 1 {
+		t.Error("lower-case keywords mishandled")
+	}
+}

@@ -1,0 +1,59 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser pseudo-random token soup built
+// from its own vocabulary; any input must produce a query or an error, but
+// never a panic or an out-of-range access.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+		"JOIN", "LEFT", "OUTER", "INNER", "ON", "AND", "OR", "NOT", "LIKE",
+		"IN", "IS", "NULL", "AS", "DISTINCT", "COUNT", "SUM", "(", ")", ",",
+		"*", "=", "<", ">", "<=", ">=", "!=", "+", "-", "/", "%", ".",
+		"t", "a", "b", "1", "2.5", "'s'",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		sql := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", sql, r)
+				}
+			}()
+			_, _ = Parse(sql)
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnRandomBytes does the same with raw byte noise
+// (exercising the lexer's error paths).
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(32 + rng.Intn(95))
+		}
+		sql := "SELECT " + string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", sql, r)
+				}
+			}()
+			_, _ = Parse(sql)
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+// Package stats provides cardinality and byte-size estimation for logical
+// plans. Estimates feed the what-if cost models of both stores. A feedback
+// cache keyed by canonical subtree signature records actual sizes observed
+// during execution, so repeated subexpressions — the common case in the
+// evolving-analyst workload — are costed from truth rather than heuristics.
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"miso/internal/expr"
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+// Stat is the estimated (or observed) size of a relation.
+type Stat struct {
+	Rows  int64
+	Bytes int64 // logical bytes (scaled)
+}
+
+// AvgRowBytes returns Bytes/Rows, guarding empty relations.
+func (s Stat) AvgRowBytes() int64 {
+	if s.Rows <= 0 {
+		return 0
+	}
+	return s.Bytes / s.Rows
+}
+
+// Estimator estimates subtree output sizes. It is safe for concurrent use.
+type Estimator struct {
+	cat *storage.Catalog
+
+	mu    sync.RWMutex
+	cache map[string]Stat
+}
+
+// NewEstimator builds an estimator over the catalog's base data.
+func NewEstimator(cat *storage.Catalog) *Estimator {
+	return &Estimator{cat: cat, cache: map[string]Stat{}}
+}
+
+// Record stores the observed size for a subtree signature.
+func (e *Estimator) Record(sig string, s Stat) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache[sig] = s
+}
+
+// RecordView stores the observed size of a materialized view under its
+// viewscan signature so plans rewritten to use the view are costed
+// accurately.
+func (e *Estimator) RecordView(name string, s Stat) {
+	e.Record("viewscan("+name+")", s)
+}
+
+// Lookup returns the recorded stat for a signature, if any.
+func (e *Estimator) Lookup(sig string) (Stat, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.cache[sig]
+	return s, ok
+}
+
+// Observed reports whether the signature has recorded truth.
+func (e *Estimator) Observed(sig string) bool {
+	_, ok := e.Lookup(sig)
+	return ok
+}
+
+// InvalidateMatching drops every cached stat whose signature satisfies the
+// predicate; used when base data changes and derived truths go stale.
+func (e *Estimator) InvalidateMatching(pred func(sig string) bool) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for sig := range e.cache {
+		if pred(sig) {
+			delete(e.cache, sig)
+			n++
+		}
+	}
+	return n
+}
+
+// Estimate returns the estimated output size of the subtree, consulting the
+// feedback cache first.
+func (e *Estimator) Estimate(n *logical.Node) Stat {
+	if s, ok := e.Lookup(n.Signature()); ok {
+		return s
+	}
+	var s Stat
+	switch n.Kind {
+	case logical.KindScan:
+		s = e.logStat(n.LogName)
+	case logical.KindExtract:
+		base := e.logStat(n.Children[0].LogName)
+		// Extracted columns are a fraction of the raw record; JSON keys
+		// and punctuation are shed, so roughly proportional to the
+		// field count with a floor.
+		total := 8
+		if log, err := e.cat.Log(n.Children[0].LogName); err == nil {
+			total = log.FieldTypes.Len()
+		}
+		frac := float64(len(n.Fields)) / float64(total)
+		if frac > 1 {
+			frac = 1
+		}
+		s = Stat{Rows: base.Rows, Bytes: int64(float64(base.Bytes) * (0.1 + 0.75*frac))}
+	case logical.KindFilter:
+		child := e.Estimate(n.Children[0])
+		sel := Selectivity(n.Pred)
+		s = scale(child, sel)
+	case logical.KindProject:
+		child := e.Estimate(n.Children[0])
+		inCols := n.Children[0].Schema().Len()
+		frac := float64(len(n.Projs)) / float64(maxInt(inCols, 1))
+		if frac > 1.5 {
+			frac = 1.5
+		}
+		s = Stat{Rows: child.Rows, Bytes: int64(float64(child.Bytes) * frac)}
+	case logical.KindJoin:
+		l := e.Estimate(n.Children[0])
+		r := e.Estimate(n.Children[1])
+		// Foreign-key style heuristic: output near the larger input.
+		rows := maxInt64(l.Rows, r.Rows)
+		if n.JoinType == logical.JoinLeft && l.Rows > rows {
+			rows = l.Rows
+		}
+		width := l.AvgRowBytes() + r.AvgRowBytes()
+		s = Stat{Rows: rows, Bytes: rows * maxInt64(width, 8)}
+	case logical.KindAggregate:
+		child := e.Estimate(n.Children[0])
+		var rows int64 = 1
+		if len(n.GroupBy) > 0 {
+			// Group count grows sublinearly with input size.
+			rows = int64(math.Pow(float64(maxInt64(child.Rows, 1)), 0.67))
+			if rows > child.Rows {
+				rows = child.Rows
+			}
+			if rows < 1 {
+				rows = 1
+			}
+		}
+		width := int64(16 * (len(n.GroupBy) + len(n.Aggs)))
+		s = Stat{Rows: rows, Bytes: rows * width}
+	case logical.KindDistinct:
+		child := e.Estimate(n.Children[0])
+		s = scale(child, 0.5)
+	case logical.KindSort:
+		s = e.Estimate(n.Children[0])
+	case logical.KindLimit:
+		child := e.Estimate(n.Children[0])
+		rows := minInt64(int64(n.LimitN), child.Rows)
+		s = Stat{Rows: rows, Bytes: rows * maxInt64(child.AvgRowBytes(), 8)}
+	case logical.KindViewScan:
+		// Unrecorded views (hypothetical) fall back to a token size.
+		s = Stat{Rows: 1000, Bytes: 64 * 1000}
+	}
+	if s.Rows < 0 {
+		s.Rows = 0
+	}
+	if s.Bytes < 0 {
+		s.Bytes = 0
+	}
+	return s
+}
+
+func (e *Estimator) logStat(name string) Stat {
+	log, err := e.cat.Log(name)
+	if err != nil {
+		return Stat{}
+	}
+	return Stat{Rows: int64(log.NumLines()), Bytes: log.LogicalBytes()}
+}
+
+func scale(s Stat, f float64) Stat {
+	return Stat{
+		Rows:  int64(float64(s.Rows) * f),
+		Bytes: int64(float64(s.Bytes) * f),
+	}
+}
+
+// Selectivity estimates the fraction of rows passing a predicate using
+// textbook heuristics.
+func Selectivity(p expr.Expr) float64 {
+	switch v := p.(type) {
+	case *expr.BinOp:
+		switch v.Op {
+		case "AND":
+			return clamp(Selectivity(v.L) * Selectivity(v.R))
+		case "OR":
+			l, r := Selectivity(v.L), Selectivity(v.R)
+			return clamp(l + r - l*r)
+		case "=":
+			return 0.1
+		case "!=":
+			return 0.9
+		case "<", "<=", ">", ">=":
+			return 0.33
+		case "LIKE":
+			return 0.25
+		default:
+			return 0.5
+		}
+	case *expr.Not:
+		return clamp(1 - Selectivity(v.E))
+	case *expr.In:
+		s := 0.1 * float64(len(v.Items))
+		if v.Neg {
+			s = 1 - s
+		}
+		return clamp(s)
+	case *expr.IsNull:
+		if v.Neg {
+			return 0.95
+		}
+		return 0.05
+	case *expr.Func:
+		// Boolean UDFs (e.g. IS_WEEKEND) pass a moderate fraction.
+		return 0.4
+	case *expr.Const:
+		if v.Val.Bool() {
+			return 1
+		}
+		return 0
+	default:
+		return 0.5
+	}
+}
+
+func clamp(f float64) float64 {
+	if f < 0.001 {
+		return 0.001
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+package storage
+
+// LogFile is a raw, schemaless log stored in the big data store as JSON
+// lines (the paper's HDFS flat files). Queries are posed directly over logs;
+// the schema of interest is declared in the query and extracted at scan time
+// by the SerDe (see the hv package's extract stage).
+//
+// FieldTypes records the types of the fields a SerDe may extract. It stands
+// in for the per-query schema declaration: the query names the fields and
+// the registry supplies their types.
+type LogFile struct {
+	Name        string
+	Lines       []string
+	FieldTypes  *Schema
+	ScaleFactor float64
+
+	bytes int64
+}
+
+// NewLogFile creates an empty log with the given extractable field registry.
+func NewLogFile(name string, fields *Schema) *LogFile {
+	return &LogFile{Name: name, FieldTypes: fields}
+}
+
+// AppendLine adds one raw JSON record.
+func (l *LogFile) AppendLine(line string) {
+	l.Lines = append(l.Lines, line)
+	l.bytes += int64(len(line)) + 1 // +1 for the newline
+}
+
+// Reset drops all records (a new generation of the log replaces the old).
+func (l *LogFile) Reset() {
+	l.Lines = nil
+	l.bytes = 0
+}
+
+// NumLines returns the record count.
+func (l *LogFile) NumLines() int { return len(l.Lines) }
+
+// RawBytes returns the measured in-memory size of the log.
+func (l *LogFile) RawBytes() int64 { return l.bytes }
+
+// LogicalBytes returns the scaled size used by the cost model.
+func (l *LogFile) LogicalBytes() int64 {
+	sf := l.ScaleFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	return int64(float64(l.bytes) * sf)
+}

@@ -1,0 +1,89 @@
+// Package transfer models data movement between the stores: the
+// dump-transfer-load pipeline a multistore execution pays when migrating a
+// working set from HV to DW, and that reorganization phases pay when moving
+// views. It also tracks the view transfer budget (Bt) consumed during a
+// reorganization.
+package transfer
+
+import "fmt"
+
+// Config calibrates the movement pipeline. The defaults reflect the paper's
+// setup: staging-disk dump, a 1GbE inter-rack link, and DW bulk load.
+type Config struct {
+	// DumpMBps is the rate of dumping intermediate data out of HV.
+	DumpMBps float64
+	// NetMBps is the aggregate network transfer rate between clusters.
+	NetMBps float64
+	// LoadMBps is the DW bulk-load rate (including index build).
+	LoadMBps float64
+}
+
+// DefaultConfig returns paper-calibrated rates.
+func DefaultConfig() Config {
+	return Config{DumpMBps: 100, NetMBps: 117, LoadMBps: 25}
+}
+
+// Breakdown is the simulated seconds spent in each phase of one movement.
+type Breakdown struct {
+	Dump    float64
+	Network float64
+	Load    float64
+}
+
+// Total returns the end-to-end seconds.
+func (b Breakdown) Total() float64 { return b.Dump + b.Network + b.Load }
+
+// Cost returns the time breakdown for moving the given logical bytes from
+// HV into DW.
+func Cost(cfg Config, bytes int64) Breakdown {
+	return Breakdown{
+		Dump:    float64(bytes) / (cfg.DumpMBps * 1e6),
+		Network: float64(bytes) / (cfg.NetMBps * 1e6),
+		Load:    float64(bytes) / (cfg.LoadMBps * 1e6),
+	}
+}
+
+// CostToHV returns the time for the reverse direction (DW export to HDFS
+// write); there is no DW load phase.
+func CostToHV(cfg Config, bytes int64) Breakdown {
+	return Breakdown{
+		Dump:    float64(bytes) / (cfg.DumpMBps * 1e6),
+		Network: float64(bytes) / (cfg.NetMBps * 1e6),
+	}
+}
+
+// Budget tracks consumption of the per-reorganization view transfer budget.
+type Budget struct {
+	limit int64
+	used  int64
+}
+
+// NewBudget creates a budget of limit bytes.
+func NewBudget(limit int64) *Budget { return &Budget{limit: limit} }
+
+// Limit returns the configured limit in bytes.
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Used returns the bytes consumed so far.
+func (b *Budget) Used() int64 { return b.used }
+
+// Remaining returns the unconsumed budget.
+func (b *Budget) Remaining() int64 {
+	r := b.limit - b.used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Fits reports whether n more bytes fit.
+func (b *Budget) Fits(n int64) bool { return b.used+n <= b.limit }
+
+// Spend consumes n bytes, failing when the budget would be exceeded.
+func (b *Budget) Spend(n int64) error {
+	if !b.Fits(n) {
+		return fmt.Errorf("transfer: budget exceeded: %d + %d > %d", b.used, n, b.limit)
+	}
+	b.used += n
+	return nil
+}

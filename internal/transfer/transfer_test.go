@@ -1,0 +1,70 @@
+package transfer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostBreakdown(t *testing.T) {
+	cfg := Config{DumpMBps: 100, NetMBps: 50, LoadMBps: 25}
+	b := Cost(cfg, 100e6) // 100 MB
+	if b.Dump != 1 || b.Network != 2 || b.Load != 4 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.Total() != 7 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestCostToHVSkipsLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	fwd := Cost(cfg, 1e9)
+	back := CostToHV(cfg, 1e9)
+	if back.Load != 0 {
+		t.Error("reverse direction charged a DW load")
+	}
+	if back.Total() >= fwd.Total() {
+		t.Error("reverse direction should be cheaper")
+	}
+}
+
+func TestCostLinearInBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	prop := func(mb uint16) bool {
+		n := int64(mb) * 1e6
+		a := Cost(cfg, n).Total()
+		b := Cost(cfg, 2*n).Total()
+		return b >= 2*a-1e-9 && b <= 2*a+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(100)
+	if b.Limit() != 100 || b.Remaining() != 100 || b.Used() != 0 {
+		t.Fatal("fresh budget wrong")
+	}
+	if !b.Fits(100) || b.Fits(101) {
+		t.Error("Fits wrong")
+	}
+	if err := b.Spend(60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 40 {
+		t.Errorf("remaining = %d", b.Remaining())
+	}
+	if err := b.Spend(41); err == nil {
+		t.Error("overspend accepted")
+	}
+	if b.Used() != 60 {
+		t.Error("failed spend mutated budget")
+	}
+	if err := b.Spend(40); err != nil {
+		t.Error("exact fill rejected")
+	}
+	if b.Remaining() != 0 {
+		t.Error("remaining after fill")
+	}
+}

@@ -1,0 +1,41 @@
+package views_test
+
+import (
+	"fmt"
+	"testing"
+
+	"miso/internal/views"
+)
+
+// BenchmarkBestMatch measures view matching against a populated design —
+// the optimizer's hottest path (called for every node of every enumerated
+// plan during what-if costing).
+func BenchmarkBestMatch(b *testing.B) {
+	f := newFixture(b)
+	set := views.NewSet()
+	for i := 0; i < 16; i++ {
+		set.Add(f.makeView(b, fmt.Sprintf(
+			"SELECT tweet_id FROM tweets WHERE retweets > %d", i*50)))
+	}
+	n := f.corePlan(b, "SELECT tweet_id FROM tweets WHERE retweets > 100 AND lang = 'en'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := set.BestMatch(n); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// BenchmarkMatchNodeExact measures the cheap path: signature equality.
+func BenchmarkMatchNodeExact(b *testing.B) {
+	f := newFixture(b)
+	v := f.makeView(b, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	n := f.corePlan(b, "SELECT user_id FROM tweets WHERE lang = 'en'")
+	n.Signature() // memoize, as the optimizer's reuse does
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m, ok := views.MatchNode(n, v); !ok || !m.Exact {
+			b.Fatal("no exact match")
+		}
+	}
+}

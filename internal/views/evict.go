@@ -1,0 +1,25 @@
+package views
+
+// EvictLRU removes least-recently-used views from the set until its total
+// size fits budgetBytes, returning the evicted views. Ties prefer evicting
+// the larger view. This is the passive policy of the HV-OP and MS-LRU
+// system variants.
+func EvictLRU(s *Set, budgetBytes int64) []*View {
+	var evicted []*View
+	for s.TotalBytes() > budgetBytes {
+		all := s.All()
+		if len(all) == 0 {
+			break
+		}
+		lru := all[0]
+		for _, v := range all[1:] {
+			if v.LastUsedSeq < lru.LastUsedSeq ||
+				(v.LastUsedSeq == lru.LastUsedSeq && v.SizeBytes() > lru.SizeBytes()) {
+				lru = v
+			}
+		}
+		s.Remove(lru.Name)
+		evicted = append(evicted, lru)
+	}
+	return evicted
+}

@@ -1,0 +1,229 @@
+// Package views implements opportunistic materialized views: the
+// by-products of query processing that MISO places across the two stores.
+// A view pairs a defining logical subtree (and its descriptor) with its
+// materialized table. Matching supports two tiers: exact signature equality,
+// and SPJ subsumption (same extract/join skeleton, view filters a subset of
+// the node's, view columns a superset of what the node needs), in which case
+// the node is rewritten as ViewScan -> residual Filter -> Project.
+package views
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"miso/internal/expr"
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+// View is one opportunistic materialized view.
+type View struct {
+	// Name is a stable identifier derived from the signature.
+	Name string
+	// Sig is the canonical signature of the defining subtree.
+	Sig string
+	// Def is the defining logical subtree (owned clone).
+	Def *logical.Node
+	// Desc is the subsumption descriptor of Def.
+	Desc *logical.Descriptor
+	// Table is the materialized result.
+	Table *storage.Table
+	// CreatedSeq is the workload sequence number at creation time; used
+	// by LRU-style policies and by the benefit decay.
+	CreatedSeq int
+	// LastUsedSeq tracks the last query that used the view.
+	LastUsedSeq int
+	// ExactOnly restricts matching to exact signature equality. Passive
+	// caches (MS-LRU) retain working sets syntactically: the cached
+	// bytes answer only the identical subexpression, not a subsuming
+	// rewrite.
+	ExactOnly bool
+}
+
+// NameForSig derives the stable view name for a signature.
+func NameForSig(sig string) string {
+	h := fnv.New64a()
+	h.Write([]byte(sig))
+	return fmt.Sprintf("v_%016x", h.Sum64())
+}
+
+// New creates a view from a defining subtree and its materialization.
+func New(def *logical.Node, table *storage.Table, seq int) *View {
+	sig := def.Signature()
+	return &View{
+		Name:        NameForSig(sig),
+		Sig:         sig,
+		Def:         def.Clone(),
+		Desc:        logical.Describe(def),
+		Table:       table,
+		CreatedSeq:  seq,
+		LastUsedSeq: seq,
+	}
+}
+
+// SizeBytes returns the view's logical storage footprint.
+func (v *View) SizeBytes() int64 {
+	if v.Table == nil {
+		return 0
+	}
+	return v.Table.LogicalBytes()
+}
+
+// Match describes how a view can answer a plan node.
+type Match struct {
+	View *View
+	// Exact means signatures are identical and the view replaces the node
+	// as-is.
+	Exact bool
+	// Residual holds filter conjuncts to apply on top of the view.
+	Residual []expr.Expr
+	// OutCols is the column order the rewritten subtree must produce.
+	OutCols []string
+}
+
+// MatchNode reports whether v can answer node n and how.
+func MatchNode(n *logical.Node, v *View) (*Match, bool) {
+	if n.Signature() == v.Sig {
+		return &Match{View: v, Exact: true}, true
+	}
+	if v.ExactOnly {
+		return nil, false
+	}
+	nd := logical.Describe(n)
+	if !nd.Simple || !v.Desc.Simple {
+		return nil, false
+	}
+	if nd.SourceSig != v.Desc.SourceSig {
+		return nil, false
+	}
+	if !v.Desc.ConjunctsSubsetOf(nd) {
+		return nil, false
+	}
+	residual := nd.ResidualConjuncts(v.Desc)
+	needed := make([]string, 0, len(nd.ColOrder))
+	needed = append(needed, nd.ColOrder...)
+	for _, r := range residual {
+		needed = append(needed, expr.Columns(r)...)
+	}
+	if !v.Desc.HasAllColumns(needed) {
+		return nil, false
+	}
+	return &Match{View: v, Residual: residual, OutCols: nd.ColOrder}, true
+}
+
+// Rewrite produces the replacement subtree for the matched node.
+func (m *Match) Rewrite() (*logical.Node, error) {
+	scan := logical.NewViewScan(m.View.Name, m.View.Table.Schema)
+	if m.Exact {
+		return scan, nil
+	}
+	node := scan
+	if pred := expr.AndAll(m.Residual); pred != nil {
+		f, err := logical.NewFilterNode(node, pred)
+		if err != nil {
+			return nil, fmt.Errorf("views: residual filter: %w", err)
+		}
+		node = f
+	}
+	// Project to the node's expected column order (and drop extras).
+	same := len(m.OutCols) == node.Schema().Len()
+	if same {
+		for i, c := range m.OutCols {
+			if node.Schema().Columns[i].Name != c {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		projs := make([]logical.Proj, len(m.OutCols))
+		for i, c := range m.OutCols {
+			projs[i] = logical.Proj{Expr: &expr.ColRef{Name: c}, Name: c}
+		}
+		p, err := logical.NewProjectNode(node, projs)
+		if err != nil {
+			return nil, fmt.Errorf("views: reprojection: %w", err)
+		}
+		node = p
+	}
+	return node, nil
+}
+
+// Set is a named collection of views (one store's design). The zero value
+// is not usable; use NewSet.
+type Set struct {
+	byName map[string]*View
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{byName: map[string]*View{}} }
+
+// Add inserts or replaces a view.
+func (s *Set) Add(v *View) { s.byName[v.Name] = v }
+
+// Remove deletes a view by name.
+func (s *Set) Remove(name string) { delete(s.byName, name) }
+
+// Get fetches a view by name.
+func (s *Set) Get(name string) (*View, bool) {
+	v, ok := s.byName[name]
+	return v, ok
+}
+
+// Has reports whether the named view is present.
+func (s *Set) Has(name string) bool { _, ok := s.byName[name]; return ok }
+
+// Len returns the number of views.
+func (s *Set) Len() int { return len(s.byName) }
+
+// TotalBytes sums the logical sizes of all views.
+func (s *Set) TotalBytes() int64 {
+	var n int64
+	for _, v := range s.byName {
+		n += v.SizeBytes()
+	}
+	return n
+}
+
+// All returns the views sorted by name for determinism.
+func (s *Set) All() []*View {
+	out := make([]*View, 0, len(s.byName))
+	for _, v := range s.byName {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Clone returns a shallow copy of the set (views shared).
+func (s *Set) Clone() *Set {
+	c := NewSet()
+	for _, v := range s.byName {
+		c.Add(v)
+	}
+	return c
+}
+
+// BestMatch finds the highest-value view in the set that answers n,
+// preferring exact matches, then the smallest view (cheapest to read).
+func (s *Set) BestMatch(n *logical.Node) (*Match, bool) {
+	var best *Match
+	for _, v := range s.All() {
+		m, ok := MatchNode(n, v)
+		if !ok {
+			continue
+		}
+		if best == nil || better(m, best) {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+func better(a, b *Match) bool {
+	if a.Exact != b.Exact {
+		return a.Exact
+	}
+	return a.View.SizeBytes() < b.View.SizeBytes()
+}

@@ -1,0 +1,268 @@
+package views_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/exec"
+	"miso/internal/logical"
+	"miso/internal/storage"
+	"miso/internal/views"
+)
+
+type fixture struct {
+	cat *storage.Catalog
+	b   *logical.Builder
+	env *exec.Env
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{cat: cat, b: logical.NewBuilder(cat)}
+	f.env = &exec.Env{
+		ReadLog: func(name string) (*storage.LogFile, error) { return cat.Log(name) },
+	}
+	return f
+}
+
+// makeView materializes the SPJ core (below the final projection) of a
+// query as a view.
+func (f *fixture) makeView(t testing.TB, sql string) *views.View {
+	t.Helper()
+	plan, err := f.b.BuildSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := plan
+	for core.Kind == logical.KindProject || core.Kind == logical.KindSort ||
+		core.Kind == logical.KindLimit {
+		core = core.Child(0)
+	}
+	table, err := exec.Run(core, f.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return views.New(core, table, 0)
+}
+
+func (f *fixture) corePlan(t testing.TB, sql string) *logical.Node {
+	t.Helper()
+	plan, err := f.b.BuildSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := plan
+	for core.Kind == logical.KindProject || core.Kind == logical.KindSort ||
+		core.Kind == logical.KindLimit {
+		core = core.Child(0)
+	}
+	return core
+}
+
+func TestExactMatch(t *testing.T) {
+	f := newFixture(t)
+	v := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	n := f.corePlan(t, "SELECT user_id FROM tweets WHERE lang = 'en'")
+	// Same filter, wide extract: the SPJ cores are identical.
+	m, ok := views.MatchNode(n, v)
+	if !ok || !m.Exact {
+		t.Fatalf("expected exact match, got %+v ok=%v", m, ok)
+	}
+}
+
+func TestSubsumptionMatchWithResidual(t *testing.T) {
+	f := newFixture(t)
+	v := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	n := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 100")
+	m, ok := views.MatchNode(n, v)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Exact {
+		t.Fatal("should be subsumption, not exact")
+	}
+	if len(m.Residual) != 1 {
+		t.Fatalf("residual = %d conjuncts", len(m.Residual))
+	}
+
+	// The rewrite must compute the same relation as the original.
+	rw, err := m.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &exec.Env{
+		ReadLog: f.env.ReadLog,
+		ReadView: func(name string) (*storage.Table, error) {
+			if name != v.Name {
+				t.Fatalf("unexpected view %q", name)
+			}
+			return v.Table, nil
+		},
+	}
+	got, err := exec.Run(rw, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(n, f.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Errorf("rewrite rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	if got.Schema.String() != want.Schema.String() {
+		t.Errorf("rewrite schema %s, want %s", got.Schema, want.Schema)
+	}
+}
+
+func TestNoMatchWhenViewStricter(t *testing.T) {
+	f := newFixture(t)
+	// View filters MORE than the query needs: cannot serve it.
+	v := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 100")
+	n := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	if _, ok := views.MatchNode(n, v); ok {
+		t.Error("stricter view matched weaker query")
+	}
+}
+
+func TestNoMatchAcrossDifferentSources(t *testing.T) {
+	f := newFixture(t)
+	v := f.makeView(t, "SELECT checkin_id FROM checkins WHERE category = 'bar'")
+	n := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	if _, ok := views.MatchNode(n, v); ok {
+		t.Error("checkins view matched tweets query")
+	}
+}
+
+func TestJoinViewSubsumesRefinedJoin(t *testing.T) {
+	f := newFixture(t)
+	v := f.makeView(t, `SELECT c.checkin_id FROM checkins c
+		JOIN landmarks l ON c.venue_id = l.venue_id WHERE c.category = 'bar'`)
+	n := f.corePlan(t, `SELECT c.checkin_id FROM checkins c
+		JOIN landmarks l ON c.venue_id = l.venue_id
+		WHERE c.category = 'bar' AND l.rating >= 3.0`)
+	m, ok := views.MatchNode(n, v)
+	if !ok {
+		t.Fatal("join view did not subsume refined join")
+	}
+	if m.Exact {
+		t.Error("expected subsumption")
+	}
+}
+
+func TestExactOnlyViewsSkipSubsumption(t *testing.T) {
+	f := newFixture(t)
+	v := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	v.ExactOnly = true
+	n := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 100")
+	if _, ok := views.MatchNode(n, v); ok {
+		t.Error("exact-only view matched via subsumption")
+	}
+	// Exact still works.
+	same := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	if _, ok := views.MatchNode(same, v); !ok {
+		t.Error("exact-only view failed exact match")
+	}
+}
+
+func TestAggregateViewsMatchExactOnly(t *testing.T) {
+	f := newFixture(t)
+	plan, err := f.b.BuildSQL("SELECT lang, COUNT(*) AS n FROM tweets GROUP BY lang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := plan.Child(0) // aggregate below the projection
+	table, err := exec.Run(agg, f.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := views.New(agg, table, 0)
+	// Identical aggregate: exact.
+	plan2, _ := f.b.BuildSQL("SELECT lang, COUNT(*) AS cnt FROM tweets GROUP BY lang")
+	if m, ok := views.MatchNode(plan2.Child(0), v); !ok || !m.Exact {
+		t.Error("identical aggregate should exact-match")
+	}
+	// Different grouping: no match.
+	plan3, _ := f.b.BuildSQL("SELECT hashtag, COUNT(*) AS n FROM tweets GROUP BY hashtag")
+	if _, ok := views.MatchNode(plan3.Child(0), v); ok {
+		t.Error("different grouping matched")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	f := newFixture(t)
+	v1 := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	v2 := f.makeView(t, "SELECT checkin_id FROM checkins WHERE category = 'bar'")
+	s := views.NewSet()
+	s.Add(v1)
+	s.Add(v2)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.TotalBytes() != v1.SizeBytes()+v2.SizeBytes() {
+		t.Error("TotalBytes mismatch")
+	}
+	all := s.All()
+	if len(all) != 2 || all[0].Name > all[1].Name {
+		t.Error("All not sorted")
+	}
+	c := s.Clone()
+	c.Remove(v1.Name)
+	if !s.Has(v1.Name) || c.Has(v1.Name) {
+		t.Error("clone not independent")
+	}
+}
+
+func TestBestMatchPrefersExact(t *testing.T) {
+	f := newFixture(t)
+	broad := f.makeView(t, "SELECT tweet_id FROM tweets")
+	exact := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	s := views.NewSet()
+	s.Add(broad)
+	s.Add(exact)
+	n := f.corePlan(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	m, ok := s.BestMatch(n)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if !m.Exact || m.View.Name != exact.Name {
+		t.Errorf("best match = %s exact=%v, want the exact view", m.View.Name, m.Exact)
+	}
+}
+
+func TestEvictLRU(t *testing.T) {
+	f := newFixture(t)
+	old := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'en'")
+	old.LastUsedSeq = 1
+	recent := f.makeView(t, "SELECT tweet_id FROM tweets WHERE lang = 'es'")
+	recent.LastUsedSeq = 9
+	s := views.NewSet()
+	s.Add(old)
+	s.Add(recent)
+	// Budget fits only one.
+	evicted := views.EvictLRU(s, recent.SizeBytes()+old.SizeBytes()/2)
+	if len(evicted) != 1 || evicted[0].Name != old.Name {
+		t.Fatalf("evicted %v, want the older view", evicted)
+	}
+	if !s.Has(recent.Name) {
+		t.Error("recent view evicted")
+	}
+	// Zero budget clears everything.
+	views.EvictLRU(s, 0)
+	if s.Len() != 0 {
+		t.Error("zero budget left views behind")
+	}
+}
+
+func TestNameForSigStable(t *testing.T) {
+	a := views.NameForSig("some-signature")
+	b := views.NameForSig("some-signature")
+	c := views.NameForSig("other")
+	if a != b || a == c {
+		t.Error("NameForSig not a stable function of the signature")
+	}
+}

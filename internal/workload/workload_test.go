@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/logical"
+)
+
+func TestThirtyTwoQueries(t *testing.T) {
+	qs := Evolving()
+	if len(qs) != 32 {
+		t.Fatalf("queries = %d, want 32", len(qs))
+	}
+	seen := map[string]bool{}
+	for i, q := range qs {
+		if q.Analyst != i/4+1 || q.Version != i%4+1 {
+			t.Errorf("query %d mislabeled: %s", i, q.Name)
+		}
+		if seen[q.Name] {
+			t.Errorf("duplicate name %s", q.Name)
+		}
+		seen[q.Name] = true
+		if strings.Contains(q.SQL, "$TS") {
+			t.Errorf("%s: unexpanded window placeholder", q.Name)
+		}
+	}
+}
+
+func TestAllQueriesBuild(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(cat)
+	for _, q := range Evolving() {
+		if _, err := b.BuildSQL(q.SQL); err != nil {
+			t.Errorf("%s does not plan: %v", q.Name, err)
+		}
+	}
+}
+
+func TestWindowsStableWithinAnalyst(t *testing.T) {
+	for a := 1; a <= 8; a++ {
+		s, e := windowStart(a), windowEnd(a)
+		if e <= s {
+			t.Errorf("analyst %d: empty window", a)
+		}
+		if e-s != 3*day {
+			t.Errorf("analyst %d: window length %d days", a, (e-s)/day)
+		}
+		if e > logStart+90*day {
+			t.Errorf("analyst %d: window beyond the generated 90-day range", a)
+		}
+	}
+}
+
+func TestWindowSharingStructure(t *testing.T) {
+	// A1, A2 and A7 investigate the same period (cross-analyst reuse);
+	// A3 and A4 share another.
+	if windowStart(1) != windowStart(2) || windowStart(1) != windowStart(7) {
+		t.Error("A1/A2/A7 windows diverged")
+	}
+	if windowStart(3) != windowStart(4) {
+		t.Error("A3/A4 windows diverged")
+	}
+	if windowStart(1) == windowStart(3) || windowStart(5) == windowStart(6) {
+		t.Error("independent analysts should use different windows")
+	}
+}
+
+func TestConsecutiveVersionsOverlap(t *testing.T) {
+	// Each version shares its FROM clause (modulo whitespace) with the
+	// previous one for at least one log — the evolutionary property the
+	// tuner exploits. A cheap proxy: consecutive versions always
+	// reference at least one common log name.
+	logs := []string{"tweets", "checkins", "landmarks"}
+	qs := Evolving()
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Analyst != qs[i-1].Analyst {
+			continue
+		}
+		common := false
+		for _, l := range logs {
+			if strings.Contains(qs[i].SQL, l) && strings.Contains(qs[i-1].SQL, l) {
+				common = true
+			}
+		}
+		if !common {
+			t.Errorf("%s and %s share no log", qs[i-1].Name, qs[i].Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	q, ok := ByName("A3v2")
+	if !ok || q.Analyst != 3 || q.Version != 2 {
+		t.Errorf("ByName(A3v2) = %+v, %v", q, ok)
+	}
+	if _, ok := ByName("A9v1"); ok {
+		t.Error("nonexistent query found")
+	}
+}
+
+func TestSQLsOrder(t *testing.T) {
+	sqls := SQLs()
+	qs := Evolving()
+	if len(sqls) != len(qs) {
+		t.Fatal("length mismatch")
+	}
+	for i := range sqls {
+		if sqls[i] != qs[i].SQL {
+			t.Fatalf("SQLs()[%d] out of order", i)
+		}
+	}
+}
+
+func TestUDFCoverage(t *testing.T) {
+	// The workload must exercise every registered UDF (the paper's
+	// queries mix relational operators and arbitrary user code).
+	all := strings.Join(SQLs(), " ")
+	for _, u := range []string{"SENTIMENT", "TOPIC", "INFLUENCE", "GEO_CELL", "IS_WEEKEND"} {
+		if !strings.Contains(all, u) {
+			t.Errorf("UDF %s unused by the workload", u)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package miso_test
+
+import (
+	"fmt"
+	"log"
+
+	"miso/miso"
+)
+
+// ExampleOpen runs one exploratory query through the full MISO system and
+// reports where it executed. Reported times are simulated seconds.
+func ExampleOpen() {
+	sys, err := miso.Open(miso.DefaultConfig(miso.MSMiso), miso.SmallData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run(`
+		SELECT lang, COUNT(*) AS n FROM tweets
+		WHERE retweets > 400 GROUP BY lang ORDER BY n DESC LIMIT 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", rep.ResultRows)
+	fmt.Println("ran entirely in HV:", rep.HVOnly)
+	// Output:
+	// rows: 2
+	// ran entirely in HV: false
+}
+
+// ExampleSystem_Explain shows the multistore plan chosen for a query under
+// the current physical design.
+func ExampleSystem_Explain() {
+	sys, err := miso.Open(miso.DefaultConfig(miso.MSBasic), miso.SmallData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := sys.Explain("SELECT COUNT(*) AS n FROM checkins")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(text) > 0)
+	// Output:
+	// true
+}

@@ -1,0 +1,93 @@
+// Package miso is the public facade of the MISO multistore system: a big
+// data store (HV) and a parallel warehouse (DW) coupled by a multistore
+// query optimizer, with the MISO online tuner placing opportunistic
+// materialized views across the two stores.
+//
+// A minimal session:
+//
+//	sys, err := miso.Open(miso.DefaultConfig(miso.MSMiso), miso.DefaultData())
+//	rep, err := sys.Run("SELECT hashtag, COUNT(*) AS n FROM tweets GROUP BY hashtag")
+//	fmt.Println(rep.ResultRows, rep.Total())
+//
+// The system executes queries for real over synthetic JSON logs; reported
+// times are simulated seconds from calibrated cost models (see DESIGN.md).
+package miso
+
+import (
+	"miso/internal/data"
+	"miso/internal/multistore"
+	"miso/internal/storage"
+)
+
+// Variant selects a system behavior; see the constants below.
+type Variant = multistore.Variant
+
+// The system variants evaluated in the paper.
+const (
+	// HVOnly executes everything in the big data store.
+	HVOnly = multistore.VariantHVOnly
+	// DWOnly ETLs the workload-relevant data up-front and serves queries
+	// from the warehouse.
+	DWOnly = multistore.VariantDWOnly
+	// MSBasic splits queries across both stores without any tuning.
+	MSBasic = multistore.VariantMSBasic
+	// HVOp reuses opportunistic views inside HV only (LRU retention).
+	HVOp = multistore.VariantHVOp
+	// MSMiso is the full system: multistore execution plus the MISO
+	// online tuner.
+	MSMiso = multistore.VariantMSMiso
+	// MSOff tunes once, offline, with the whole workload known up-front.
+	MSOff = multistore.VariantMSOff
+	// MSLru retains transferred working sets passively under LRU.
+	MSLru = multistore.VariantMSLru
+	// MSOra is the MISO tuner driven by the actual future workload.
+	MSOra = multistore.VariantMSOra
+)
+
+// Config is the full system configuration.
+type Config = multistore.Config
+
+// System is a running multistore instance.
+type System = multistore.System
+
+// Metrics is the TTI breakdown.
+type Metrics = multistore.Metrics
+
+// QueryReport describes one query's execution.
+type QueryReport = multistore.QueryReport
+
+// ReorgRecord summarizes one reorganization phase.
+type ReorgRecord = multistore.ReorgRecord
+
+// DataConfig controls the synthetic log generator.
+type DataConfig = data.Config
+
+// DefaultConfig returns the paper's configuration for a variant. Budgets
+// default to the paper's 2x storage multiples with a 10 GB transfer budget
+// once Open generates the data (override with Config.SetBudgets).
+func DefaultConfig(v Variant) Config { return multistore.DefaultConfig(v) }
+
+// DefaultData returns the paper-scale dataset configuration (~2 TB logical).
+func DefaultData() DataConfig { return data.DefaultConfig() }
+
+// SmallData returns a small dataset for quick experiments.
+func SmallData() DataConfig { return data.SmallConfig() }
+
+// Open generates the dataset and boots a system. If the config's budgets
+// are unset, the paper defaults (2x multiples, Bt = 10 GB) are applied.
+func Open(cfg Config, dataCfg DataConfig) (*System, error) {
+	cat, err := data.Generate(dataCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tuner.Bh == 0 && cfg.Tuner.Bd == 0 {
+		cfg.SetBudgets(cat, 2.0, 10<<30)
+	}
+	return multistore.New(cfg, cat), nil
+}
+
+// OpenWithCatalog boots a system over an existing catalog (advanced use:
+// custom logs registered by the caller).
+func OpenWithCatalog(cfg Config, cat *storage.Catalog) *System {
+	return multistore.New(cfg, cat)
+}

@@ -1,0 +1,58 @@
+package miso_test
+
+import (
+	"testing"
+
+	"miso/miso"
+)
+
+func TestOpenAndRun(t *testing.T) {
+	sys, err := miso.Open(miso.DefaultConfig(miso.MSMiso), miso.SmallData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(`SELECT hashtag, COUNT(*) AS n FROM tweets
+		WHERE lang = 'en' GROUP BY hashtag ORDER BY n DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResultRows == 0 || rep.ResultRows > 3 {
+		t.Errorf("rows = %d", rep.ResultRows)
+	}
+	if rep.Total() <= 0 {
+		t.Error("no simulated time charged")
+	}
+	m := sys.Metrics()
+	if m.Queries != 1 || m.TTI() <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestOpenAppliesDefaultBudgets(t *testing.T) {
+	cfg := miso.DefaultConfig(miso.MSMiso)
+	sys, err := miso.Open(cfg, miso.SmallData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets were zero in cfg; Open must have applied paper defaults, so
+	// running the workload with reorganizations must not fail.
+	for _, sql := range []string{
+		"SELECT lang, COUNT(*) AS n FROM tweets GROUP BY lang",
+		"SELECT lang, COUNT(*) AS n FROM tweets WHERE retweets > 10 GROUP BY lang",
+	} {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVariantConstantsRoundtrip(t *testing.T) {
+	for _, v := range []miso.Variant{
+		miso.HVOnly, miso.DWOnly, miso.MSBasic, miso.HVOp,
+		miso.MSMiso, miso.MSOff, miso.MSLru, miso.MSOra,
+	} {
+		if _, err := miso.Open(miso.DefaultConfig(v), miso.SmallData()); err != nil {
+			t.Errorf("%s: %v", v, err)
+		}
+	}
+}
