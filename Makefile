@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench chaos
+
+# tier1 is the gate every change must pass: clean build, vet, and the full
+# test suite under the race detector.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/multistore/
+
+chaos:
+	$(GO) run ./cmd/misobench -chaos -scale small

@@ -25,12 +25,17 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 2")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	scale := flag.String("scale", "paper", "dataset scale: paper or small")
+	chaos := flag.Bool("chaos", false, "run the fault-injection sweep (robustness extension; not part of -all)")
+	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate applied to every experiment (0 disables)")
+	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	if *scale == "small" {
 		cfg = experiments.Small()
 	}
+	cfg.FaultRate = *faultRate
+	cfg.FaultSeed = *faultSeed
 
 	targets := map[string]bool{}
 	if *all {
@@ -43,6 +48,9 @@ func main() {
 	}
 	if *table == "2" {
 		targets["t2"] = true
+	}
+	if *chaos {
+		targets["chaos"] = true
 	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
@@ -142,6 +150,14 @@ func main() {
 	})
 	run("order", func() error {
 		r, err := experiments.OrderSensitivity(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("chaos", func() error {
+		r, err := experiments.Chaos(cfg)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,8 @@ func main() {
 	warm := flag.Bool("warm", false, "run the preceding workload queries first (warms views)")
 	maxRows := flag.Int("rows", 10, "max result rows to print")
 	explain := flag.Bool("explain", false, "print the chosen multistore plan before running")
+	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate (0 disables the fault plane)")
+	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	flag.Parse()
 
 	query := *sql
@@ -47,7 +49,10 @@ func main() {
 	if *scale == "paper" {
 		dataCfg = miso.DefaultData()
 	}
-	sys, err := miso.Open(miso.DefaultConfig(miso.Variant(*variant)), dataCfg)
+	sysCfg := miso.DefaultConfig(miso.Variant(*variant))
+	sysCfg.Faults = miso.UniformFaults(*faultRate)
+	sysCfg.FaultSeed = *faultSeed
+	sys, err := miso.Open(sysCfg, dataCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -97,8 +102,21 @@ func main() {
 		mode = "executed entirely in DW (bypassed HV)"
 	}
 	fmt.Printf("%s\n", mode)
-	fmt.Printf("simulated time: HV %.1fs + transfer %.1fs + DW %.1fs = %.1fs\n",
-		rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds, rep.Total())
+	if rep.RecoverySeconds > 0 {
+		fmt.Printf("simulated time: HV %.1fs + transfer %.1fs + DW %.1fs + recovery %.1fs = %.1fs\n",
+			rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds, rep.RecoverySeconds, rep.Total())
+	} else {
+		fmt.Printf("simulated time: HV %.1fs + transfer %.1fs + DW %.1fs = %.1fs\n",
+			rep.HVSeconds, rep.TransferSeconds, rep.DWSeconds, rep.Total())
+	}
+	if rep.RecoverySeconds > 0 || rep.Retries > 0 {
+		fallback := ""
+		if rep.FellBackToHV {
+			fallback = ", fell back to HV"
+		}
+		fmt.Printf("fault recovery: %.1fs across %d retries%s\n",
+			rep.RecoverySeconds, rep.Retries, fallback)
+	}
 	if len(rep.UsedViews) > 0 {
 		fmt.Printf("views used: %v\n", rep.UsedViews)
 	}

@@ -9,6 +9,7 @@
 package dw
 
 import (
+	"errors"
 	"fmt"
 
 	"miso/internal/exec"
@@ -17,6 +18,16 @@ import (
 	"miso/internal/stats"
 	"miso/internal/storage"
 	"miso/internal/views"
+)
+
+// Typed errors callers match with errors.Is.
+var (
+	// ErrNoSuchTable marks a name found in neither permanent nor temp space.
+	ErrNoSuchTable = errors.New("dw: no such table in permanent or temp space")
+	// ErrNoBaseLogs marks an attempt to scan raw logs inside DW.
+	ErrNoBaseLogs = errors.New("dw: DW holds no base logs")
+	// ErrUDF marks a plan containing a UDF, which only HV can execute.
+	ErrUDF = errors.New("dw: plan contains a UDF, which only HV can execute")
 )
 
 // Config calibrates the DW cluster and cost model.
@@ -86,7 +97,7 @@ func (s *Store) Resolve(name string) (*storage.Table, error) {
 	if t, ok := s.temp[name]; ok {
 		return t, nil
 	}
-	return nil, fmt.Errorf("dw: no table %q in permanent or temp space", name)
+	return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 }
 
 // Env returns the execution environment. DW has no raw logs: plans must
@@ -94,7 +105,7 @@ func (s *Store) Resolve(name string) (*storage.Table, error) {
 func (s *Store) Env() *exec.Env {
 	return &exec.Env{
 		ReadLog: func(name string) (*storage.LogFile, error) {
-			return nil, fmt.Errorf("dw: cannot scan raw log %q; DW holds no base logs", name)
+			return nil, fmt.Errorf("%w: cannot scan raw log %q", ErrNoBaseLogs, name)
 		},
 		ReadView: s.Resolve,
 	}
@@ -104,7 +115,7 @@ func (s *Store) Env() *exec.Env {
 // leaf only on resolvable views/temp tables.
 func (s *Store) Execute(plan *logical.Node) (*Result, error) {
 	if plan.UsesUDF() {
-		return nil, fmt.Errorf("dw: plan contains a UDF, which only HV can execute")
+		return nil, ErrUDF
 	}
 	env := s.Env()
 	tables := map[*logical.Node]*storage.Table{}
@@ -131,7 +142,7 @@ func (s *Store) Execute(plan *logical.Node) (*Result, error) {
 	}
 	out, err := run(plan)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dw: executing plan: %w", err)
 	}
 	for n, t := range tables {
 		s.est.Record(n.Signature(), stats.Stat{Rows: int64(t.NumRows()), Bytes: t.LogicalBytes()})

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"miso/internal/multistore"
+)
+
+// ChaosPoint is one (failure rate, variant) cell of the chaos sweep.
+type ChaosPoint struct {
+	Rate      float64
+	Variant   multistore.Variant
+	TTI       float64
+	Recovery  float64
+	Retries   int
+	Fallbacks int
+	// Completed counts queries that produced a result (all of them, if
+	// recovery holds up; the sweep fails the run otherwise).
+	Completed int
+}
+
+// ChaosResult is the fault-injection experiment (robustness extension, not
+// in the paper): the 32-query workload replayed under increasing uniform
+// failure rates, comparing the tuned system against the untuned multistore
+// baseline. All runs share one seed so the sweep is reproducible.
+type ChaosResult struct {
+	Seed   int64
+	Points []ChaosPoint
+}
+
+// ChaosRates are the uniform per-operation failure rates swept.
+var ChaosRates = []float64{0, 0.01, 0.02, 0.05, 0.10}
+
+// Chaos runs the sweep. Each point uses a fresh system; the injector seed
+// is fixed so repeated invocations reproduce byte-identical tables.
+func Chaos(cfg Config) (*ChaosResult, error) {
+	const seed = 42
+	res := &ChaosResult{Seed: seed}
+	for _, rate := range ChaosRates {
+		for _, v := range []multistore.Variant{multistore.VariantMSBasic, multistore.VariantMSMiso} {
+			c := cfg
+			c.FaultRate = rate
+			c.FaultSeed = seed
+			sys, err := c.runWorkload(v)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: chaos rate %.2f %s: %w", rate, v, err)
+			}
+			m := sys.Metrics()
+			res.Points = append(res.Points, ChaosPoint{
+				Rate:      rate,
+				Variant:   v,
+				TTI:       m.TTI(),
+				Recovery:  m.Recovery,
+				Retries:   m.Retries,
+				Fallbacks: m.Fallbacks,
+				Completed: len(sys.Reports()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the sweep as a table: TTI and its recovery share per
+// failure rate, for each variant.
+func (r *ChaosResult) WriteText(w io.Writer) {
+	fprintf(w, "Chaos sweep: uniform failure rate vs TTI (seed %d)\n", r.Seed)
+	fprintf(w, "%6s %-10s %12s %12s %8s %9s %9s\n",
+		"rate", "variant", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbacks")
+	for _, p := range r.Points {
+		pct := 0.0
+		if p.TTI > 0 {
+			pct = 100 * p.Recovery / p.TTI
+		}
+		fprintf(w, "%5.0f%% %-10s %12.1f %12.1f %7.1f%% %9d %9d\n",
+			100*p.Rate, p.Variant, p.TTI, p.Recovery, pct, p.Retries, p.Fallbacks)
+	}
+	n := 0
+	if len(r.Points) > 0 {
+		n = r.Points[0].Completed
+	}
+	fprintf(w, "all %d-query runs completed under every rate; recovery time is the\n", n)
+	fprintf(w, "price of retries, backoff and HV fallbacks charged by the fault plane\n")
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"miso/internal/data"
+	"miso/internal/faults"
 	"miso/internal/multistore"
 	"miso/internal/optimizer"
 	"miso/internal/views"
@@ -34,6 +35,11 @@ type Config struct {
 	// TransferBudget is Bt in bytes (10 GB in the paper; calibrated to
 	// this workload's view-size distribution, see EXPERIMENTS.md).
 	TransferBudget int64
+	// FaultRate applies a uniform fault-injection profile across all
+	// sites; zero (the default) leaves the fault plane disabled.
+	FaultRate float64
+	// FaultSeed seeds the injector's deterministic RNG.
+	FaultSeed int64
 }
 
 // Default returns the paper's main configuration.
@@ -62,6 +68,8 @@ func (c Config) newSystem(v multistore.Variant) (*multistore.System, error) {
 	}
 	cfg := multistore.DefaultConfig(v)
 	cfg.SetBudgets(cat, c.BudgetMultiple, c.TransferBudget)
+	cfg.Faults = faults.Uniform(c.FaultRate)
+	cfg.FaultSeed = c.FaultSeed
 	sys := multistore.New(cfg, cat)
 	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
 		return nil, err

@@ -25,10 +25,17 @@ func BuildTimeline(sys *multistore.System) []sim.Event {
 	for _, r := range sys.ReorgLog() {
 		reorgAt[r.BeforeSeq] += r.Seconds
 	}
+	recoveryAt := map[int]float64{}
+	for _, r := range sys.ReorgLog() {
+		recoveryAt[r.BeforeSeq] += r.RecoverySeconds
+	}
 	var events []sim.Event
 	for _, rep := range sys.Reports() {
 		if s := reorgAt[rep.Seq]; s > 0 {
 			events = append(events, sim.Event{Kind: sim.EventReorg, Seconds: s})
+		}
+		if s := recoveryAt[rep.Seq]; s > 0 {
+			events = append(events, sim.Event{Kind: sim.EventRecovery, Seconds: s})
 		}
 		if rep.HVSeconds > 0 {
 			events = append(events, sim.Event{Kind: sim.EventHV, Seconds: rep.HVSeconds})
@@ -38,6 +45,9 @@ func BuildTimeline(sys *multistore.System) []sim.Event {
 		}
 		if rep.DWSeconds > 0 {
 			events = append(events, sim.Event{Kind: sim.EventDW, Seconds: rep.DWSeconds})
+		}
+		if rep.RecoverySeconds > 0 {
+			events = append(events, sim.Event{Kind: sim.EventRecovery, Seconds: rep.RecoverySeconds})
 		}
 	}
 	return events
@@ -89,7 +99,7 @@ func (r *Fig9Result) WriteText(w io.Writer) {
 	fprintf(w, "%10s %6s %6s %10s %-8s\n", "t(s)", "IO%", "CPU%", "bg lat(s)", "phase")
 	phase := map[sim.EventKind]string{
 		sim.EventHV: "Q(hv)", sim.EventTransfer: "T", sim.EventReorg: "R",
-		sim.EventDW: "Q(dw)", sim.EventIdle: "idle",
+		sim.EventDW: "Q(dw)", sim.EventIdle: "idle", sim.EventRecovery: "rec",
 	}
 	// Downsample to at most ~120 rows, but always include phase changes.
 	step := len(o.Samples) / 120

@@ -1,0 +1,243 @@
+// Package faults is the deterministic fault-injection plane of the
+// multistore system. A seeded Injector draws failures from a per-site
+// Profile at every point where a real deployment can break — HV stage
+// execution, HDFS materialization, each phase of the dump→network→load
+// transfer pipeline, DW bulk loads and queries, and reorganization view
+// movements — and the stores' recovery machinery (retry with capped
+// exponential backoff, resume from the last materialized boundary, HV
+// fallback, reorg rollback) charges every wasted second to simulated time.
+//
+// Determinism guarantee: for a fixed (Profile, seed) pair, the sequence of
+// injected failures is a pure function of the sequence of Check calls, so a
+// chaos run is exactly reproducible. A zero-rate site never consumes
+// randomness, which keeps an all-zero profile a strict no-op: the system
+// with faults disabled is byte-identical to one with no injector at all.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Site identifies one injection point in the system.
+type Site int
+
+// The injection sites, in pipeline order.
+const (
+	// SiteHVStage is the execution of one HV (MapReduce-style) job.
+	SiteHVStage Site = iota
+	// SiteHDFSWrite is the materialization of a stage output to HDFS.
+	SiteHDFSWrite
+	// SiteTransferDump is the dump phase of a working-set transfer.
+	SiteTransferDump
+	// SiteTransferNet is the network phase of a transfer.
+	SiteTransferNet
+	// SiteTransferLoad is the DW temp-space bulk load of a working set.
+	SiteTransferLoad
+	// SiteDWLoad is the DW permanent-space bulk load (reorg moves, ETL).
+	SiteDWLoad
+	// SiteDWQuery is a query execution inside DW.
+	SiteDWQuery
+	// SiteReorgMove is the catalog commit of a reorganization view move.
+	SiteReorgMove
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"hv-stage", "hdfs-write", "transfer-dump", "transfer-net",
+	"transfer-load", "dw-load", "dw-query", "reorg-move",
+}
+
+func (s Site) String() string {
+	if s < 0 || s >= numSites {
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+	return siteNames[s]
+}
+
+// Profile holds the per-site failure probabilities (0 disables a site).
+type Profile struct {
+	HVStage      float64
+	HDFSWrite    float64
+	TransferDump float64
+	TransferNet  float64
+	TransferLoad float64
+	DWLoad       float64
+	DWQuery      float64
+	ReorgMove    float64
+}
+
+// Uniform returns a profile with the same rate at every site.
+func Uniform(rate float64) Profile {
+	return Profile{
+		HVStage: rate, HDFSWrite: rate,
+		TransferDump: rate, TransferNet: rate, TransferLoad: rate,
+		DWLoad: rate, DWQuery: rate, ReorgMove: rate,
+	}
+}
+
+// Rate returns the failure probability at the given site.
+func (p Profile) Rate(s Site) float64 {
+	switch s {
+	case SiteHVStage:
+		return p.HVStage
+	case SiteHDFSWrite:
+		return p.HDFSWrite
+	case SiteTransferDump:
+		return p.TransferDump
+	case SiteTransferNet:
+		return p.TransferNet
+	case SiteTransferLoad:
+		return p.TransferLoad
+	case SiteDWLoad:
+		return p.DWLoad
+	case SiteDWQuery:
+		return p.DWQuery
+	case SiteReorgMove:
+		return p.ReorgMove
+	default:
+		return 0
+	}
+}
+
+// Zero reports whether every site's rate is zero (injection disabled).
+func (p Profile) Zero() bool { return p == Profile{} }
+
+// Fault is the typed error produced by an injected failure. Callers
+// unwrap it with errors.As to learn which site failed and on which
+// attempt.
+type Fault struct {
+	// Site is where the failure was injected.
+	Site Site
+	// Op describes the operation that failed (for the error message).
+	Op string
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faults: injected %s failure during %s (attempt %d)", f.Site, f.Op, f.Attempt)
+}
+
+// ErrExhausted marks an operation whose retries ran out; it always wraps
+// the final Fault, so both errors.Is(err, ErrExhausted) and
+// errors.As(err, &fault) work on the same error chain.
+var ErrExhausted = errors.New("faults: retries exhausted")
+
+// Exhausted wraps the last fault of an operation that ran out of attempts.
+func Exhausted(last *Fault) error {
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, last.Attempt, last)
+}
+
+// RetryPolicy is the shared recovery policy: bounded attempts with capped
+// exponential backoff. Backoff waits are charged to simulated time, never
+// to the wall clock.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	MaxAttempts int
+	// BaseBackoff is the simulated seconds waited after the first failure.
+	BaseBackoff float64
+	// BackoffFactor multiplies the wait after each further failure.
+	BackoffFactor float64
+	// MaxBackoff caps a single wait.
+	MaxBackoff float64
+}
+
+// DefaultRetry returns the system-wide recovery policy: up to 6 attempts,
+// backoff 5s, 10s, 20s, 40s, 60s (capped).
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseBackoff: 5, BackoffFactor: 2, MaxBackoff: 60}
+}
+
+// OrDefault returns the policy itself, or DefaultRetry for the zero value,
+// so a zero-valued config field means "default policy" rather than "no
+// retries at all".
+func (r RetryPolicy) OrDefault() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		return DefaultRetry()
+	}
+	return r
+}
+
+// Backoff returns the simulated wait after the given 1-based failed
+// attempt.
+func (r RetryPolicy) Backoff(attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	b := r.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		b *= r.BackoffFactor
+		if b >= r.MaxBackoff {
+			return r.MaxBackoff
+		}
+	}
+	if b > r.MaxBackoff {
+		return r.MaxBackoff
+	}
+	return b
+}
+
+// Injector draws failures from a profile with a seeded generator. A nil
+// Injector is valid and never fails anything, so call sites need no
+// guards. Injector is not safe for concurrent use; the multistore system
+// serializes access behind its own mutex.
+type Injector struct {
+	profile Profile
+	rng     *rand.Rand
+	counts  [numSites]int
+}
+
+// NewInjector creates an injector for the profile. It returns nil for an
+// all-zero profile: the caller's nil-injector fast paths then keep the
+// fault plane strictly additive.
+func NewInjector(p Profile, seed int64) *Injector {
+	if p.Zero() {
+		return nil
+	}
+	return &Injector{profile: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Enabled reports whether the injector can inject anything.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// Check draws one outcome for the site. When it fails, frac is the
+// fraction of the operation completed before the failure hit (uniform in
+// [0,1)), which callers use to charge partially wasted work. Zero-rate
+// sites consume no randomness and never fail.
+func (in *Injector) Check(site Site) (failed bool, frac float64) {
+	if in == nil {
+		return false, 1
+	}
+	rate := in.profile.Rate(site)
+	if rate <= 0 {
+		return false, 1
+	}
+	if in.rng.Float64() >= rate {
+		return false, 1
+	}
+	in.counts[site]++
+	return true, in.rng.Float64()
+}
+
+// Injected returns how many failures have been injected at the site.
+func (in *Injector) Injected(site Site) int {
+	if in == nil || site < 0 || site >= numSites {
+		return 0
+	}
+	return in.counts[site]
+}
+
+// TotalInjected returns the total number of injected failures.
+func (in *Injector) TotalInjected() int {
+	if in == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range in.counts {
+		n += c
+	}
+	return n
+}

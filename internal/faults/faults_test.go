@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestZeroProfileNeverFails(t *testing.T) {
+	in := NewInjector(Profile{}, 1)
+	if in != nil {
+		t.Fatal("zero profile should yield a nil injector")
+	}
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	for s := Site(0); s < numSites; s++ {
+		if failed, _ := in.Check(s); failed {
+			t.Fatalf("nil injector failed site %s", s)
+		}
+	}
+	if in.TotalInjected() != 0 || in.Injected(SiteHVStage) != 0 {
+		t.Error("nil injector counts nonzero")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	draw := func() []bool {
+		in := NewInjector(Uniform(0.3), 42)
+		out := make([]bool, 200)
+		for i := range out {
+			failed, _ := in.Check(Site(i % int(numSites)))
+			out[i] = failed
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+	}
+}
+
+func TestSeedChangesOutcomes(t *testing.T) {
+	a := NewInjector(Uniform(0.5), 1)
+	b := NewInjector(Uniform(0.5), 2)
+	same := true
+	for i := 0; i < 64; i++ {
+		fa, _ := a.Check(SiteHVStage)
+		fb, _ := b.Check(SiteHVStage)
+		if fa != fb {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-draw outcomes")
+	}
+}
+
+func TestZeroRateSiteConsumesNoRandomness(t *testing.T) {
+	// Interleaving checks of a zero-rate site must not perturb the
+	// stream seen by live sites.
+	p := Profile{HVStage: 0.5} // every other site zero
+	a := NewInjector(p, 7)
+	b := NewInjector(p, 7)
+	for i := 0; i < 100; i++ {
+		fa, _ := a.Check(SiteHVStage)
+		b.Check(SiteDWQuery) // zero-rate: must be a no-op on the stream
+		fb, _ := b.Check(SiteHVStage)
+		if fa != fb {
+			t.Fatalf("draw %d perturbed by zero-rate site check", i)
+		}
+	}
+}
+
+func TestCheckRateAndCounts(t *testing.T) {
+	in := NewInjector(Profile{DWQuery: 0.25}, 99)
+	n := 10000
+	failures := 0
+	for i := 0; i < n; i++ {
+		failed, frac := in.Check(SiteDWQuery)
+		if failed {
+			failures++
+			if frac < 0 || frac >= 1 {
+				t.Fatalf("frac %v out of [0,1)", frac)
+			}
+		} else if frac != 1 {
+			t.Fatalf("success frac = %v, want 1", frac)
+		}
+	}
+	if in.Injected(SiteDWQuery) != failures || in.TotalInjected() != failures {
+		t.Error("counts do not match observed failures")
+	}
+	got := float64(failures) / float64(n)
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("empirical rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	r := DefaultRetry()
+	want := []float64{5, 10, 20, 40, 60, 60}
+	for i, w := range want {
+		if got := r.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := r.Backoff(0); got != 5 {
+		t.Errorf("Backoff(0) clamps to first attempt, got %v", got)
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if got := (RetryPolicy{}).OrDefault(); got != DefaultRetry() {
+		t.Errorf("zero policy OrDefault = %+v", got)
+	}
+	custom := RetryPolicy{MaxAttempts: 2, BaseBackoff: 1, BackoffFactor: 3, MaxBackoff: 9}
+	if got := custom.OrDefault(); got != custom {
+		t.Errorf("custom policy OrDefault = %+v", got)
+	}
+}
+
+func TestFaultErrorChain(t *testing.T) {
+	f := &Fault{Site: SiteTransferNet, Op: "move 3 GB to DW", Attempt: 4}
+	err := fmt.Errorf("transfer: moving view: %w", Exhausted(f))
+	if !errors.Is(err, ErrExhausted) {
+		t.Error("errors.Is(ErrExhausted) failed through wrapping")
+	}
+	var got *Fault
+	if !errors.As(err, &got) {
+		t.Fatal("errors.As(*Fault) failed through wrapping")
+	}
+	if got.Site != SiteTransferNet || got.Attempt != 4 {
+		t.Errorf("unwrapped fault = %+v", got)
+	}
+	if got.Error() == "" || f.Site.String() != "transfer-net" {
+		t.Error("fault formatting broken")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if SiteHVStage.String() != "hv-stage" || SiteReorgMove.String() != "reorg-move" {
+		t.Error("site names wrong")
+	}
+	if Site(99).String() != "site(99)" {
+		t.Error("out-of-range site name wrong")
+	}
+}
+
+func TestProfileRateMapping(t *testing.T) {
+	p := Profile{
+		HVStage: 0.1, HDFSWrite: 0.2, TransferDump: 0.3, TransferNet: 0.4,
+		TransferLoad: 0.5, DWLoad: 0.6, DWQuery: 0.7, ReorgMove: 0.8,
+	}
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	for s := Site(0); s < numSites; s++ {
+		if p.Rate(s) != want[s] {
+			t.Errorf("Rate(%s) = %v, want %v", s, p.Rate(s), want[s])
+		}
+	}
+	if p.Rate(Site(99)) != 0 {
+		t.Error("unknown site rate should be 0")
+	}
+	if p.Zero() || !(Profile{}).Zero() {
+		t.Error("Zero() wrong")
+	}
+	if u := Uniform(0.05); u.Rate(SiteHVStage) != 0.05 || u.Rate(SiteReorgMove) != 0.05 {
+		t.Error("Uniform wrong")
+	}
+}

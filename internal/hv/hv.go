@@ -10,14 +10,21 @@
 package hv
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"miso/internal/exec"
+	"miso/internal/faults"
 	"miso/internal/logical"
 	"miso/internal/stats"
 	"miso/internal/storage"
 	"miso/internal/views"
 )
+
+// ErrViewMissing marks a ViewScan over a view this store does not hold;
+// callers test for it with errors.Is.
+var ErrViewMissing = errors.New("hv: view not in HV")
 
 // Config calibrates the HV cluster and cost model.
 type Config struct {
@@ -48,8 +55,15 @@ func DefaultConfig() Config {
 // Result reports one plan execution in HV.
 type Result struct {
 	Table *storage.Table
-	// Seconds is the simulated execution time.
+	// Seconds is the simulated fault-free execution time.
 	Seconds float64
+	// RecoverySeconds is extra simulated time spent surviving injected
+	// stage failures: partially re-executed stages plus backoff waits.
+	// Because every job boundary is materialized, recovery restarts from
+	// the failed stage only, never from the start of the plan.
+	RecoverySeconds float64
+	// Retries counts injected stage and HDFS-write failures survived.
+	Retries int
 	// NewViews are opportunistic views created by this execution (stage
 	// outputs not already present in the store).
 	NewViews []*views.View
@@ -60,9 +74,11 @@ type Result struct {
 // Store is the HV instance: it owns the raw logs (via the catalog) and the
 // HV side of the multistore design.
 type Store struct {
-	cfg Config
-	cat *storage.Catalog
-	est *stats.Estimator
+	cfg   Config
+	cat   *storage.Catalog
+	est   *stats.Estimator
+	inj   *faults.Injector
+	retry faults.RetryPolicy
 
 	// Views is the HV view set (the store's physical design).
 	Views *views.Set
@@ -76,6 +92,13 @@ func NewStore(cfg Config, cat *storage.Catalog, est *stats.Estimator) *Store {
 // Config returns the store configuration.
 func (s *Store) Config() Config { return s.cfg }
 
+// SetFaults arms the store with a fault injector and recovery policy. A
+// nil injector disables injection entirely (the default).
+func (s *Store) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
+	s.inj = inj
+	s.retry = retry.OrDefault()
+}
+
 // Env returns the execution environment resolving logs and HV views.
 func (s *Store) Env() *exec.Env {
 	return &exec.Env{
@@ -83,7 +106,7 @@ func (s *Store) Env() *exec.Env {
 		ReadView: func(name string) (*storage.Table, error) {
 			v, ok := s.Views.Get(name)
 			if !ok {
-				return nil, fmt.Errorf("hv: view %q not in HV", name)
+				return nil, fmt.Errorf("%w: %q", ErrViewMissing, name)
 			}
 			return v.Table, nil
 		},
@@ -180,7 +203,7 @@ func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
 	}
 	out, err := run(plan)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hv: executing plan: %w", err)
 	}
 
 	// Record truth for every computed subtree.
@@ -205,10 +228,39 @@ func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
 		}
 		return 0
 	}
+	type stageCost struct {
+		sig           string
+		sec, writeSec float64
+	}
+	var stages []stageCost
 	for n := range mat {
 		normal, serde := stageInput(n, mat, size)
-		res.Seconds += s.jobSeconds(normal, serde, tables[n].LogicalBytes())
+		outBytes := tables[n].LogicalBytes()
+		sec := s.jobSeconds(normal, serde, outBytes)
+		res.Seconds += sec
 		res.Stages++
+		if s.inj.Enabled() {
+			write := s.cfg.WriteMBps * float64(s.cfg.Nodes) * 1e6
+			stages = append(stages, stageCost{n.Signature(), sec, float64(outBytes) / write})
+		}
+	}
+
+	// Fault plane: replay each stage against the injector in a
+	// deterministic order (map iteration above is not stable). A failed
+	// stage re-executes from its materialized inputs — the last job
+	// boundary — so only that stage's partial work plus backoff is lost,
+	// never the whole plan. This is exactly the fault tolerance the
+	// paper's by-product materializations buy.
+	if s.inj.Enabled() {
+		sort.Slice(stages, func(i, j int) bool { return stages[i].sig < stages[j].sig })
+		for i, st := range stages {
+			if err := s.recoverPhase(faults.SiteHVStage, st.sec, res); err != nil {
+				return nil, fmt.Errorf("hv: stage %d/%d: %w", i+1, len(stages), err)
+			}
+			if err := s.recoverPhase(faults.SiteHDFSWrite, st.writeSec, res); err != nil {
+				return nil, fmt.Errorf("hv: materializing stage %d/%d: %w", i+1, len(stages), err)
+			}
+		}
 	}
 
 	// Capture opportunistic views from stage outputs. Definitions are
@@ -237,6 +289,24 @@ func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
 		res.NewViews = append(res.NewViews, v)
 	}
 	return res, nil
+}
+
+// recoverPhase simulates one stage phase (execution or HDFS write) under
+// the injector: each injected failure wastes the completed fraction of the
+// phase plus a backoff wait, all charged to RecoverySeconds. Exhausting
+// the retry policy fails the whole execution with a typed fault error.
+func (s *Store) recoverPhase(site faults.Site, sec float64, res *Result) error {
+	for attempt := 1; ; attempt++ {
+		failed, frac := s.inj.Check(site)
+		if !failed {
+			return nil
+		}
+		res.Retries++
+		res.RecoverySeconds += frac*sec + s.retry.Backoff(attempt)
+		if attempt >= s.retry.MaxAttempts {
+			return faults.Exhausted(&faults.Fault{Site: site, Op: "hv job", Attempt: attempt})
+		}
+	}
 }
 
 // ExpandViews rewrites ViewScan leaves back to their base-data definitions,

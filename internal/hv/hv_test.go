@@ -3,7 +3,11 @@ package hv_test
 import (
 	"testing"
 
+	"errors"
+	"math"
+
 	"miso/internal/data"
+	"miso/internal/faults"
 	"miso/internal/hv"
 	"miso/internal/logical"
 	"miso/internal/stats"
@@ -190,5 +194,94 @@ func TestCostScalesWithClusterSize(t *testing.T) {
 	bigStore := hv.NewStore(bigCfg, cat, stats.NewEstimator(cat))
 	if smallStore.CostPlan(plan) <= bigStore.CostPlan(plan) {
 		t.Error("more nodes should lower IO-bound cost")
+	}
+}
+
+func TestExecuteFaultFreeWithInjectorArmedButZeroRate(t *testing.T) {
+	_, b, store := setup(t)
+	plan := build(t, b, `SELECT lang, COUNT(*) AS n FROM tweets GROUP BY lang`)
+	base, err := store.Execute(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero-rate profile yields a nil injector: strictly additive plane.
+	store.SetFaults(faults.NewInjector(faults.Profile{}, 1), faults.DefaultRetry())
+	again, err := store.Execute(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seconds is summed over a map range, so two executions can differ by
+	// float association order; only ULP-level noise is acceptable.
+	if d := math.Abs(again.Seconds - base.Seconds); d > 1e-9*base.Seconds {
+		t.Errorf("zero-rate injector changed timing: base %v, again %v", base.Seconds, again.Seconds)
+	}
+	if again.RecoverySeconds != 0 || again.Retries != 0 {
+		t.Errorf("zero-rate injector charged recovery: %+v", again)
+	}
+}
+
+func TestExecuteRetriesChargeRecovery(t *testing.T) {
+	_, b, store := setup(t)
+	store.SetFaults(faults.NewInjector(faults.Profile{HVStage: 0.5, HDFSWrite: 0.3}, 42), faults.DefaultRetry())
+	plan := build(t, b, `SELECT l.city, COUNT(*) AS n FROM checkins c
+		JOIN landmarks l ON c.venue_id = l.venue_id GROUP BY l.city`)
+	var sawRetry bool
+	for seq := 1; seq <= 10; seq++ {
+		res, err := store.Execute(plan, seq)
+		if err != nil {
+			// Exhaustion is possible at 50% rate; it must be typed.
+			if !errors.Is(err, faults.ErrExhausted) {
+				t.Fatalf("execution error not a typed fault: %v", err)
+			}
+			continue
+		}
+		if res.Retries > 0 {
+			sawRetry = true
+			if res.RecoverySeconds <= 0 {
+				t.Error("retries charged no recovery time")
+			}
+			// Recovery restarts from the failed stage, never the whole
+			// plan: each wasted attempt costs at most one stage plus
+			// backoff, so recovery stays bounded by retries * (full
+			// execution + max backoff).
+			bound := float64(res.Retries) * (res.Seconds + 60)
+			if res.RecoverySeconds > bound {
+				t.Errorf("recovery %v exceeds per-stage bound %v", res.RecoverySeconds, bound)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("no execution recorded a survived retry at 50% stage failure rate")
+	}
+}
+
+func TestExecuteFaultsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		_, b, store := setup(t)
+		store.SetFaults(faults.NewInjector(faults.Uniform(0.2), 7), faults.DefaultRetry())
+		plan := build(t, b, `SELECT lang, COUNT(*) AS n FROM tweets WHERE retweets > 50 GROUP BY lang`)
+		var out []float64
+		for seq := 1; seq <= 5; seq++ {
+			res, err := store.Execute(plan, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res.RecoverySeconds)
+		}
+		return out
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("run %d recovery differs: %v vs %v", i, a[i], bb[i])
+		}
+	}
+}
+
+func TestEnvViewMissingIsTyped(t *testing.T) {
+	_, _, store := setup(t)
+	_, err := store.Env().ReadView("nope")
+	if !errors.Is(err, hv.ErrViewMissing) {
+		t.Errorf("missing-view error not typed: %v", err)
 	}
 }

@@ -1,0 +1,91 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/faults"
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+// TestChaosWorkloadSurvivesAndHoldsInvariants replays the full evolving
+// workload under a 5% uniform fault profile and checks that recovery keeps
+// the system consistent: every query completes, the stores never hold the
+// same view twice, storage budgets hold after every step, no
+// reorganization exceeds the transfer budget, and the recovery cost is
+// accounted as its own TTI component.
+func TestChaosWorkloadSurvivesAndHoldsInvariants(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.Faults = faults.Uniform(0.05)
+	cfg.FaultSeed = 42
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+
+	checkInvariants := func(i int) {
+		t.Helper()
+		for _, v := range sys.HV().Views.All() {
+			if sys.DW().Views.Has(v.Name) {
+				t.Fatalf("after query %d: view %q in both HV and DW", i, v.Name)
+			}
+		}
+		if got, bd := sys.DW().Views.TotalBytes(), cfg.Tuner.Bd; got > bd {
+			t.Fatalf("after query %d: DW views %d bytes exceed Bd %d", i, got, bd)
+		}
+		if got, bh := sys.HV().Views.TotalBytes(), cfg.Tuner.Bh; got > bh {
+			t.Fatalf("after query %d: HV views %d bytes exceed Bh %d", i, got, bh)
+		}
+	}
+
+	for i, sql := range workload.SQLs() {
+		rep, err := sys.Run(sql)
+		if err != nil {
+			t.Fatalf("query %d (%s) did not survive faults: %v", i, workload.Evolving()[i].Name, err)
+		}
+		if rep.Result == nil {
+			t.Fatalf("query %d completed without a result", i)
+		}
+		checkInvariants(i)
+	}
+
+	if got := len(sys.Reports()); got != len(workload.SQLs()) {
+		t.Fatalf("completed %d of %d queries", got, len(workload.SQLs()))
+	}
+	for _, rec := range sys.ReorgLog() {
+		if rec.Bytes > cfg.Tuner.Bt {
+			t.Errorf("reorg before query %d moved %d bytes, transfer budget %d",
+				rec.BeforeSeq, rec.Bytes, cfg.Tuner.Bt)
+		}
+	}
+	m := sys.Metrics()
+	if m.Recovery <= 0 {
+		t.Error("expected nonzero recovery time under a 5% fault profile")
+	}
+	if m.TTI() <= m.HVExe+m.DWExe+m.Transfer+m.Tune+m.ETL {
+		t.Error("TTI must include the recovery component")
+	}
+	if sys.FaultInjector().TotalInjected() == 0 {
+		t.Error("injector reports no injected faults at a 5% rate")
+	}
+
+	// The same seed must reproduce the exact run.
+	sys2 := multistore.New(cfg, cat)
+	if err := sys2.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	for i, sql := range workload.SQLs() {
+		if _, err := sys2.Run(sql); err != nil {
+			t.Fatalf("replay query %d: %v", i, err)
+		}
+	}
+	if a, b := sys.Metrics(), sys2.Metrics(); a != b {
+		t.Errorf("chaos run not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -68,13 +68,24 @@ func (s *System) runETL() error {
 			return fmt.Errorf("multistore: ETL of %q: %w", logName, err)
 		}
 		s.metrics.ETL += res.Seconds
+		s.addRecovery(res.RecoverySeconds, res.Retries)
 		// Each UDF is applied as its own transformation pass over the
 		// extracted data during ETL (the paper's Hive-based ETL runs
 		// user code as separate jobs), costing a fraction of the base
 		// extraction per UDF column.
 		s.metrics.ETL += res.Seconds * 0.5 * float64(len(need.udf))
 		bytes := res.Table.LogicalBytes()
-		s.metrics.ETL += transfer.Cost(s.cfg.Transfer, bytes).Total()
+		// The bulk load into DW permanent space runs through the fault-
+		// injected pipeline; ETL is one-time and has nothing to degrade
+		// to, so an exhausted load fails the ETL with a typed error.
+		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindPermanent, s.inj, s.retry)
+		s.metrics.Retries += mv.Retries
+		s.metrics.Recovery += mv.RecoverySeconds
+		if mvErr != nil {
+			s.metrics.Recovery += mv.Breakdown.Total()
+			return fmt.Errorf("multistore: ETL load of %q: %w", logName, mvErr)
+		}
+		s.metrics.ETL += mv.Breakdown.Total()
 		v := views.New(node, res.Table, 0)
 		s.dw.Views.Add(v)
 	}

@@ -15,6 +15,7 @@ import (
 	"miso/internal/core"
 	"miso/internal/data"
 	"miso/internal/dw"
+	"miso/internal/faults"
 	"miso/internal/history"
 	"miso/internal/hv"
 	"miso/internal/logical"
@@ -59,6 +60,17 @@ type Config struct {
 	HistoryLen int
 	EpochLen   int
 	Decay      float64
+
+	// Faults is the fault-injection profile (all-zero disables injection,
+	// making the failure plane strictly additive: timings are then
+	// byte-identical to a system with no fault plane at all).
+	Faults faults.Profile
+	// FaultSeed seeds the deterministic injector; a fixed (profile, seed)
+	// pair reproduces the exact same failure sequence.
+	FaultSeed int64
+	// Retry is the recovery policy for injected failures; the zero value
+	// means faults.DefaultRetry.
+	Retry faults.RetryPolicy
 }
 
 // DefaultConfig returns the paper's setup for the given variant; view
@@ -96,12 +108,23 @@ type Metrics struct {
 	Transfer float64
 	Tune     float64
 	ETL      float64
+	// Recovery is the time lost to injected failures and spent surviving
+	// them: partial re-executions, backoff waits, rolled-back loads and
+	// moves, and full-HV fallback runs. Zero when injection is disabled.
+	Recovery float64
 	Queries  int
 	Reorgs   int
+	// Fallbacks counts queries that completed in HV after their
+	// multistore plan failed mid-flight.
+	Fallbacks int
+	// Retries counts injected failures survived anywhere in the system.
+	Retries int
 }
 
 // TTI returns the total time-to-insight.
-func (m Metrics) TTI() float64 { return m.HVExe + m.DWExe + m.Transfer + m.Tune + m.ETL }
+func (m Metrics) TTI() float64 {
+	return m.HVExe + m.DWExe + m.Transfer + m.Tune + m.ETL + m.Recovery
+}
 
 // QueryReport records one query's execution.
 type QueryReport struct {
@@ -112,6 +135,16 @@ type QueryReport struct {
 	TransferSeconds float64
 	DWSeconds       float64
 	TransferBytes   int64
+	// RecoverySeconds is the time this query lost to injected failures
+	// (partial re-executions, backoffs, aborted transfers, and — after a
+	// mid-flight failure — the full-HV fallback run).
+	RecoverySeconds float64
+	// Retries counts injected failures this query survived.
+	Retries int
+	// FellBackToHV marks a query whose multistore plan failed mid-flight
+	// (transfer aborted or DW side gave out) and that completed by
+	// re-running entirely in HV.
+	FellBackToHV bool
 
 	// HVOps / DWOps count plan operators executed in each store.
 	HVOps, DWOps int
@@ -131,8 +164,10 @@ type QueryReport struct {
 }
 
 // Total returns the query's execution time (excluding tuning/ETL, which are
-// system-level).
-func (r *QueryReport) Total() float64 { return r.HVSeconds + r.TransferSeconds + r.DWSeconds }
+// system-level), including any recovery time it paid.
+func (r *QueryReport) Total() float64 {
+	return r.HVSeconds + r.TransferSeconds + r.DWSeconds + r.RecoverySeconds
+}
 
 // System is one running multistore instance. Methods that mutate state
 // (Run, Reorganize, AppendToLog, RefreshLog, ProvideFutureWorkload) are
@@ -149,6 +184,8 @@ type System struct {
 	dw      *dw.Store
 	opt     *optimizer.Optimizer
 	window  *history.Window
+	inj     *faults.Injector
+	retry   faults.RetryPolicy
 
 	future  []history.Entry
 	seq     int
@@ -176,6 +213,16 @@ type ReorgRecord struct {
 	Bytes int64
 	// Seconds is the movement time charged to TUNE.
 	Seconds float64
+	// FailedMoves counts moves that aborted or failed to commit and were
+	// rolled back atomically: the view stayed in its source store and the
+	// budget below was refunded.
+	FailedMoves int
+	// RefundedBytes is the Bt consumption returned by rolled-back moves.
+	RefundedBytes int64
+	// RecoverySeconds is the time this phase lost to injected failures
+	// (retries, backoffs, and wasted work of rolled-back moves), charged
+	// to the RECOVERY component rather than TUNE.
+	RecoverySeconds float64
 }
 
 // New creates a system over the catalog.
@@ -199,6 +246,9 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	if cfg.Variant == VariantHVOnly || cfg.Variant == VariantHVOp {
 		opt.DisableSplits = true
 	}
+	retry := cfg.Retry.OrDefault()
+	inj := faults.NewInjector(cfg.Faults, cfg.FaultSeed) // nil for an all-zero profile
+	h.SetFaults(inj, retry)
 	return &System{
 		cfg:     cfg,
 		cat:     cat,
@@ -208,6 +258,8 @@ func New(cfg Config, cat *storage.Catalog) *System {
 		dw:      d,
 		opt:     opt,
 		window:  history.NewWindow(cfg.HistoryLen, cfg.EpochLen, cfg.Decay),
+		inj:     inj,
+		retry:   retry,
 	}
 }
 
@@ -237,6 +289,10 @@ func (s *System) Optimizer() *optimizer.Optimizer { return s.opt }
 
 // Metrics returns the accumulated TTI breakdown.
 func (s *System) Metrics() Metrics { return s.metrics }
+
+// FaultInjector returns the system's fault injector (nil when injection
+// is disabled); useful for inspecting injected-failure counts.
+func (s *System) FaultInjector() *faults.Injector { return s.inj }
 
 // Reports returns per-query execution reports in submission order.
 func (s *System) Reports() []*QueryReport { return s.reports }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"miso/internal/core"
+	"miso/internal/faults"
 	"miso/internal/history"
 	"miso/internal/logical"
 	"miso/internal/optimizer"
@@ -17,17 +18,20 @@ func freshSet() *views.Set { return views.NewSet() }
 func (s *System) runHVOnly(e history.Entry) (*QueryReport, error) {
 	res, err := s.hv.Execute(e.Plan, e.Seq)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
 	s.metrics.HVExe += res.Seconds
+	s.addRecovery(res.RecoverySeconds, res.Retries)
 	return &QueryReport{
 		Seq: e.Seq, SQL: e.SQL,
-		HVSeconds:  res.Seconds,
-		HVOps:      countOps(e.Plan),
-		HVOnly:     true,
-		NewViews:   len(res.NewViews),
-		ResultRows: res.Table.NumRows(),
-		Result:     res.Table,
+		HVSeconds:       res.Seconds,
+		RecoverySeconds: res.RecoverySeconds,
+		Retries:         res.Retries,
+		HVOps:           countOps(e.Plan),
+		HVOnly:          true,
+		NewViews:        len(res.NewViews),
+		ResultRows:      res.Table.NumRows(),
+		Result:          res.Table,
 	}, nil
 }
 
@@ -37,20 +41,23 @@ func (s *System) runHVOp(e history.Entry) (*QueryReport, error) {
 	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
 	res, err := s.hv.Execute(plan, e.Seq)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
 	used := s.markUsedViews(plan, e.Seq)
 	views.EvictLRU(s.hv.Views, s.cfg.Tuner.Bh)
 	s.metrics.HVExe += res.Seconds
+	s.addRecovery(res.RecoverySeconds, res.Retries)
 	return &QueryReport{
 		Seq: e.Seq, SQL: e.SQL,
-		HVSeconds:  res.Seconds,
-		HVOps:      countOps(plan),
-		HVOnly:     true,
-		UsedViews:  used,
-		NewViews:   len(res.NewViews),
-		ResultRows: res.Table.NumRows(),
-		Result:     res.Table,
+		HVSeconds:       res.Seconds,
+		RecoverySeconds: res.RecoverySeconds,
+		Retries:         res.Retries,
+		HVOps:           countOps(plan),
+		HVOnly:          true,
+		UsedViews:       used,
+		NewViews:        len(res.NewViews),
+		ResultRows:      res.Table.NumRows(),
+		Result:          res.Table,
 	}, nil
 }
 
@@ -68,19 +75,25 @@ func (s *System) runDWOnly(e history.Entry) (*QueryReport, error) {
 	}
 	res, err := s.dw.Execute(plan)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
-	used := s.markUsedViews(plan, e.Seq)
-	s.metrics.DWExe += res.Seconds
-	return &QueryReport{
+	rep := &QueryReport{
 		Seq: e.Seq, SQL: e.SQL,
 		DWSeconds:  res.Seconds,
 		DWOps:      countOps(plan),
 		BypassedHV: true,
-		UsedViews:  used,
 		ResultRows: res.Table.NumRows(),
 		Result:     res.Table,
-	}, nil
+	}
+	// DW-ONLY has no other store to degrade to: injected query failures
+	// retry in place and exhaustion fails the query.
+	if err := s.simulateDWQuery(res.Seconds, rep); err != nil {
+		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
+	}
+	rep.UsedViews = s.markUsedViews(plan, e.Seq)
+	s.metrics.DWExe += res.Seconds
+	s.addRecovery(rep.RecoverySeconds, rep.Retries)
+	return rep, nil
 }
 
 // runMultistore executes the optimizer's chosen split plan. Migrated
@@ -96,9 +109,11 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 	if mp.HVOnly {
 		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds = res.Seconds
+		rep.RecoverySeconds = res.RecoverySeconds
+		rep.Retries = res.Retries
 		rep.HVOps = countOps(mp.HVPlan)
 		rep.HVOnly = true
 		rep.NewViews = len(res.NewViews)
@@ -106,6 +121,7 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 		rep.Result = res.Table
 		rep.UsedViews = s.markUsedViews(mp.HVPlan, e.Seq)
 		s.metrics.HVExe += res.Seconds
+		s.addRecovery(res.RecoverySeconds, res.Retries)
 		return rep, nil
 	}
 
@@ -117,23 +133,38 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 		bypassed = false
 		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds += res.Seconds
+		rep.RecoverySeconds += res.RecoverySeconds
+		rep.Retries += res.Retries
 		rep.HVOps += countOps(cut.HVPlan)
 		rep.NewViews += len(res.NewViews)
 		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
 
 		bytes := res.Table.LogicalBytes()
+		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
+		rep.Retries += mv.Retries
+		if mvErr != nil {
+			// The move aborted: everything it paid is wasted. Degrade
+			// gracefully by completing the query entirely in HV.
+			rep.RecoverySeconds += mv.WastedSeconds()
+			return s.fallbackHV(e, rep, mvErr)
+		}
+		rep.RecoverySeconds += mv.RecoverySeconds
 		rep.TransferBytes += bytes
-		rep.TransferSeconds += transfer.Cost(s.cfg.Transfer, bytes).Total()
+		rep.TransferSeconds += mv.Breakdown.Total()
 		s.dw.StageTemp(cut.TempName, res.Table)
 	}
 	rep.BypassedHV = bypassed
 
 	dwRes, err := s.dw.Execute(mp.DWPart)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
+	}
+	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
+		// DW gave out mid-query: degrade to HV.
+		return s.fallbackHV(e, rep, err)
 	}
 	rep.DWSeconds = dwRes.Seconds
 	rep.DWOps = countOps(mp.DWPart)
@@ -145,7 +176,64 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 	s.metrics.HVExe += rep.HVSeconds
 	s.metrics.Transfer += rep.TransferSeconds
 	s.metrics.DWExe += rep.DWSeconds
+	s.addRecovery(rep.RecoverySeconds, rep.Retries)
 	return rep, nil
+}
+
+// simulateDWQuery replays injected DW-side failures for a query that took
+// sec seconds: each failure wastes the completed fraction plus a backoff,
+// and exhaustion returns the typed fault error (the caller decides whether
+// to degrade to HV). Returns nil when the query eventually sticks.
+func (s *System) simulateDWQuery(sec float64, rep *QueryReport) error {
+	if !s.inj.Enabled() {
+		return nil
+	}
+	for attempt := 1; ; attempt++ {
+		failed, frac := s.inj.Check(faults.SiteDWQuery)
+		if !failed {
+			return nil
+		}
+		rep.Retries++
+		rep.RecoverySeconds += frac*sec + s.retry.Backoff(attempt)
+		if attempt >= s.retry.MaxAttempts {
+			return faults.Exhausted(&faults.Fault{Site: faults.SiteDWQuery, Op: "dw query", Attempt: attempt})
+		}
+	}
+}
+
+// fallbackHV completes a query entirely in HV after its multistore plan
+// failed mid-flight (aborted transfer or exhausted DW retries). Time
+// already paid stays in its component; the fallback execution itself is
+// the penalty, charged to RECOVERY. This is the graceful-degradation path:
+// HV always holds the base logs, so any query can complete there.
+func (s *System) fallbackHV(e history.Entry, rep *QueryReport, cause error) (*QueryReport, error) {
+	s.dw.ClearTemp()
+	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
+	res, err := s.hv.Execute(plan, e.Seq)
+	if err != nil {
+		return nil, fmt.Errorf("multistore: query %d failed (%v) and its HV fallback failed too: %w", e.Seq, cause, err)
+	}
+	rep.FellBackToHV = true
+	rep.RecoverySeconds += res.Seconds + res.RecoverySeconds
+	rep.Retries += res.Retries
+	rep.NewViews += len(res.NewViews)
+	rep.UsedViews = append(rep.UsedViews, s.markUsedViews(plan, e.Seq)...)
+	rep.ResultRows = res.Table.NumRows()
+	rep.Result = res.Table
+
+	s.metrics.HVExe += rep.HVSeconds
+	s.metrics.Transfer += rep.TransferSeconds
+	s.metrics.DWExe += rep.DWSeconds
+	s.addRecovery(rep.RecoverySeconds, rep.Retries)
+	s.metrics.Fallbacks++
+	return rep, nil
+}
+
+// addRecovery accumulates recovery time and retry counts into the TTI
+// breakdown.
+func (s *System) addRecovery(sec float64, retries int) {
+	s.metrics.Recovery += sec
+	s.metrics.Retries += retries
 }
 
 // runMSLru is the passive tuner of the paper's Figure 7: only the working
@@ -162,9 +250,11 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 	if mp.HVOnly {
 		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds = res.Seconds
+		rep.RecoverySeconds = res.RecoverySeconds
+		rep.Retries = res.Retries
 		rep.HVOps = countOps(mp.HVPlan)
 		rep.HVOnly = true
 		rep.NewViews = len(res.NewViews)
@@ -172,6 +262,7 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 		rep.Result = res.Table
 		rep.UsedViews = s.markUsedViews(mp.HVPlan, e.Seq)
 		s.metrics.HVExe += res.Seconds
+		s.addRecovery(res.RecoverySeconds, res.Retries)
 		s.hv.Views = freshSet()
 		return rep, nil
 	}
@@ -183,15 +274,30 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 		bypassed = false
 		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds += res.Seconds
+		rep.RecoverySeconds += res.RecoverySeconds
+		rep.Retries += res.Retries
 		rep.HVOps += countOps(cut.HVPlan)
 		rep.NewViews += len(res.NewViews)
 		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
 		bytes := res.Table.LogicalBytes()
+		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
+		rep.Retries += mv.Retries
+		if mvErr != nil {
+			rep.RecoverySeconds += mv.WastedSeconds()
+			rep, err := s.fallbackHV(e, rep, mvErr)
+			if err != nil {
+				return nil, err
+			}
+			views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
+			s.hv.Views = freshSet()
+			return rep, nil
+		}
+		rep.RecoverySeconds += mv.RecoverySeconds
 		rep.TransferBytes += bytes
-		rep.TransferSeconds += transfer.Cost(s.cfg.Transfer, bytes).Total()
+		rep.TransferSeconds += mv.Breakdown.Total()
 		s.dw.StageTemp(cut.TempName, res.Table)
 
 		// Passive retention: the transferred working set becomes a DW
@@ -207,7 +313,16 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 	rep.BypassedHV = bypassed
 	dwRes, err := s.dw.Execute(mp.DWPart)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
+	}
+	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
+		rep, err := s.fallbackHV(e, rep, err)
+		if err != nil {
+			return nil, err
+		}
+		views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
+		s.hv.Views = freshSet()
+		return rep, nil
 	}
 	rep.DWSeconds = dwRes.Seconds
 	rep.DWOps = countOps(mp.DWPart)
@@ -221,31 +336,86 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 	s.metrics.HVExe += rep.HVSeconds
 	s.metrics.Transfer += rep.TransferSeconds
 	s.metrics.DWExe += rep.DWSeconds
+	s.addRecovery(rep.RecoverySeconds, rep.Retries)
 	return rep, nil
 }
 
 // reorg runs the MISO tuner over the window and applies the view
-// movements, charging their time to TUNE.
+// movements one at a time, charging their time to TUNE. Each move runs
+// through the fault-injected transfer pipeline and commits atomically: a
+// move that aborts (or whose catalog commit fails) is rolled back — the
+// view stays in its source store when it still fits there, its Bt
+// consumption is refunded, and Vh ∩ Vd = ∅ holds no matter which moves
+// fail. Time lost to failed moves is charged to RECOVERY, not TUNE.
 func (s *System) reorg(w *history.Window) error {
 	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
 	r, err := tuner.Tune(s.Design(), w)
 	if err != nil {
-		return err
+		return fmt.Errorf("multistore: tuning: %w", err)
 	}
-	rec := ReorgRecord{
-		BeforeSeq: s.seq,
-		MovedToDW: len(r.MoveToDW),
-		MovedToHV: len(r.MoveToHV),
-		Dropped:   len(r.DropHV),
-		Bytes:     r.TransferBytes,
+	rec := ReorgRecord{BeforeSeq: s.seq, Dropped: len(r.DropHV)}
+	bud := transfer.NewBudget(s.cfg.Tuner.Bt)
+
+	// rollBack undoes one failed move: v stays in its source set (or is
+	// dropped when the source has no room left) and its budget returns.
+	rollBack := func(v *views.View, from *views.Set, limit int64, wasted float64) {
+		bud.Refund(v.SizeBytes())
+		rec.FailedMoves++
+		rec.RefundedBytes += v.SizeBytes()
+		rec.RecoverySeconds += wasted
+		if from.TotalBytes()+v.SizeBytes() <= limit {
+			from.Add(v)
+		} else {
+			rec.Dropped++
+		}
 	}
+
+	apply := func(v *views.View, kind transfer.Kind, dst, src *views.Set, srcLimit int64) {
+		size := v.SizeBytes()
+		if err := bud.Spend(size); err != nil {
+			// The tuner packs moves within Bt; treat any slack violation
+			// as a skipped move rather than a failed reorganization.
+			dst.Remove(v.Name)
+			rollBack(v, src, srcLimit, 0)
+			return
+		}
+		mv, mvErr := transfer.Move(s.cfg.Transfer, size, kind, s.inj, s.retry)
+		committed := mvErr == nil
+		wasted := mv.WastedSeconds()
+		if committed {
+			// The catalog commit itself can fail: the fully transferred
+			// view is discarded at the destination, atomically.
+			if failed, _ := s.inj.Check(faults.SiteReorgMove); failed {
+				committed = false
+				wasted = mv.Breakdown.Total() + mv.RecoverySeconds
+				mv.Retries++
+			}
+		}
+		s.metrics.Retries += mv.Retries
+		if !committed {
+			dst.Remove(v.Name)
+			rollBack(v, src, srcLimit, wasted)
+			return
+		}
+		rec.RecoverySeconds += mv.RecoverySeconds
+		rec.Seconds += mv.Breakdown.Total()
+		rec.Bytes += size
+		if kind == transfer.KindToHV {
+			rec.MovedToHV++
+		} else {
+			rec.MovedToDW++
+		}
+	}
+
 	for _, v := range r.MoveToDW {
-		rec.Seconds += transfer.Cost(s.cfg.Transfer, v.SizeBytes()).Total()
+		apply(v, transfer.KindPermanent, r.NewDW, r.NewHV, s.cfg.Tuner.Bh)
 	}
 	for _, v := range r.MoveToHV {
-		rec.Seconds += transfer.CostToHV(s.cfg.Transfer, v.SizeBytes()).Total()
+		apply(v, transfer.KindToHV, r.NewHV, r.NewDW, s.cfg.Tuner.Bd)
 	}
+
 	s.metrics.Tune += rec.Seconds
+	s.metrics.Recovery += rec.RecoverySeconds
 	s.hv.Views = r.NewHV
 	s.dw.Views = r.NewDW
 	s.metrics.Reorgs++
@@ -301,7 +471,17 @@ func (s *System) trimHVToDesign() {
 		switch {
 		case s.offTargetDW[v.Name]:
 			if !s.dw.Views.Has(v.Name) {
-				rec.Seconds += transfer.Cost(s.cfg.Transfer, v.SizeBytes()).Total()
+				mv, mvErr := transfer.Move(s.cfg.Transfer, v.SizeBytes(), transfer.KindPermanent, s.inj, s.retry)
+				s.metrics.Retries += mv.Retries
+				if mvErr != nil {
+					// Rolled back: the view stays in HV and the design
+					// realization retries after a later query.
+					rec.FailedMoves++
+					rec.RecoverySeconds += mv.WastedSeconds()
+					continue
+				}
+				rec.RecoverySeconds += mv.RecoverySeconds
+				rec.Seconds += mv.Breakdown.Total()
 				rec.Bytes += v.SizeBytes()
 				rec.MovedToDW++
 				s.dw.Views.Add(v)
@@ -315,8 +495,9 @@ func (s *System) trimHVToDesign() {
 		}
 	}
 	views.EvictLRU(s.hv.Views, s.cfg.Tuner.Bh)
-	if rec.MovedToDW > 0 {
+	if rec.MovedToDW > 0 || rec.FailedMoves > 0 {
 		s.metrics.Tune += rec.Seconds
+		s.metrics.Recovery += rec.RecoverySeconds
 		s.reorgLog = append(s.reorgLog, rec)
 	}
 }

@@ -31,6 +31,10 @@ const (
 	EventDW
 	// EventIdle is time with no multistore activity.
 	EventIdle
+	// EventRecovery is time spent in fault recovery (retry backoff,
+	// re-executed HV stages, fallback re-runs): the injected faults stall
+	// the multistore side, so DW sees no demand.
+	EventRecovery
 )
 
 // Event is one phase of the multistore run.

@@ -76,14 +76,32 @@ func (b *Budget) Remaining() int64 {
 	return r
 }
 
-// Fits reports whether n more bytes fit.
-func (b *Budget) Fits(n int64) bool { return b.used+n <= b.limit }
+// Fits reports whether n more bytes fit. Written as a subtraction so a
+// huge n cannot overflow b.used+n past MaxInt64 (used never exceeds limit).
+func (b *Budget) Fits(n int64) bool { return n <= b.limit-b.used }
 
 // Spend consumes n bytes, failing when the budget would be exceeded.
 func (b *Budget) Spend(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("transfer: cannot spend negative bytes (%d)", n)
+	}
 	if !b.Fits(n) {
-		return fmt.Errorf("transfer: budget exceeded: %d + %d > %d", b.used, n, b.limit)
+		return fmt.Errorf("transfer: budget exceeded: spend of %d exceeds remaining %d (limit %d, used %d)",
+			n, b.Remaining(), b.limit, b.used)
 	}
 	b.used += n
 	return nil
+}
+
+// Refund returns n bytes to the budget — an aborted or rolled-back move
+// does not consume Bt. Usage floors at zero: refunding more than was
+// spent leaves a full budget rather than a negative one.
+func (b *Budget) Refund(n int64) {
+	if n <= 0 {
+		return
+	}
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
 }

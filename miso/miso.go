@@ -15,6 +15,7 @@ package miso
 
 import (
 	"miso/internal/data"
+	"miso/internal/faults"
 	"miso/internal/multistore"
 	"miso/internal/storage"
 )
@@ -61,6 +62,22 @@ type ReorgRecord = multistore.ReorgRecord
 
 // DataConfig controls the synthetic log generator.
 type DataConfig = data.Config
+
+// FaultProfile sets per-site failure rates for the deterministic fault
+// injector (Config.Faults). The zero value disables the fault plane.
+type FaultProfile = faults.Profile
+
+// RetryPolicy bounds fault recovery: attempts and capped exponential
+// backoff, charged to simulated time (Config.Retry).
+type RetryPolicy = faults.RetryPolicy
+
+// UniformFaults builds a profile that fails every injection site with the
+// same probability. A rate of 0 disables injection entirely.
+func UniformFaults(rate float64) FaultProfile { return faults.Uniform(rate) }
+
+// DefaultRetry returns the default recovery policy (6 attempts, 5 s base
+// backoff doubling to a 60 s cap).
+func DefaultRetry() RetryPolicy { return faults.DefaultRetry() }
 
 // DefaultConfig returns the paper's configuration for a variant. Budgets
 // default to the paper's 2x storage multiples with a 10 GB transfer budget
