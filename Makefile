@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos
+.PHONY: tier1 build vet test race bench chaos soak serve
 
-# tier1 is the gate every change must pass: clean build, vet, and the full
-# test suite under the race detector.
+# tier1 is the gate every change must pass: clean build, vet, the full
+# test suite under the race detector, and an explicit run of the
+# concurrent-serving soak (also race-enabled).
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun' -count 1 ./internal/serve/
 
 build:
 	$(GO) build ./...
@@ -26,3 +28,9 @@ bench:
 
 chaos:
 	$(GO) run ./cmd/misobench -chaos -scale small
+
+soak:
+	$(GO) test -race -run 'TestServeSoak' -count 1 -v ./internal/serve/
+
+serve:
+	$(GO) run ./cmd/misobench -serve -scale small

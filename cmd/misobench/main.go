@@ -8,6 +8,8 @@
 //	misobench -fig 3.2          # the Section 3.2 two-query experiment
 //	misobench -table 2          # Table 2 (mutual impact)
 //	misobench -all -scale small # everything, quickly
+//	misobench -chaos            # fault-injection sweep (extension)
+//	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
 package main
 
 import (
@@ -28,6 +30,13 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection sweep (robustness extension; not part of -all)")
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate applied to every experiment (0 disables)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
+	serveSoak := flag.Bool("serve", false, "run the concurrent-serving soak (robustness extension; not part of -all)")
+	sessions := flag.Int("sessions", 8, "soak: concurrent client sessions")
+	squeries := flag.Int("squeries", 32, "soak: queries per session (cycles the 32-query workload)")
+	workers := flag.Int("workers", 4, "soak: serving worker pool size")
+	queue := flag.Int("queue", 0, "soak: admission queue depth (0 = twice the workers)")
+	timeout := flag.Duration("timeout", 0, "soak: per-query wall-clock deadline (0 disables)")
+	reorgEvery := flag.Int("reorgevery", 0, "soak: force an online reorganization every n submissions (0 disables)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -51,6 +60,9 @@ func main() {
 	}
 	if *chaos {
 		targets["chaos"] = true
+	}
+	if *serveSoak {
+		targets["serve"] = true
 	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
@@ -158,6 +170,21 @@ func main() {
 	})
 	run("chaos", func() error {
 		r, err := experiments.Chaos(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("serve", func() error {
+		sc := experiments.DefaultSoak(cfg)
+		sc.Sessions = *sessions
+		sc.Queries = *squeries
+		sc.Workers = *workers
+		sc.Queue = *queue
+		sc.Timeout = *timeout
+		sc.ReorgEvery = *reorgEvery
+		r, err := experiments.Soak(sc)
 		if err != nil {
 			return err
 		}

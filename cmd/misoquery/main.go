@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the chosen multistore plan before running")
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate (0 disables the fault plane)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 disables; abandoned work is charged to RECOVERY)")
 	flag.Parse()
 
 	query := *sql
@@ -88,8 +91,19 @@ func main() {
 		fmt.Println()
 	}
 
-	rep, err := sys.Run(query)
+	// The query goes through the serving frontend (one worker, so the
+	// execution itself is identical to sys.Run) to get deadline
+	// enforcement and the serving counters.
+	srv := miso.NewServer(miso.ServeConfig{Workers: 1, QueryTimeout: *timeout}, sys)
+	rep, err := srv.Do(context.Background(), query)
+	srv.Close()
+	sm := srv.Metrics()
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "query abandoned after %s deadline; %.1fs of partial work charged to recovery\n",
+				*timeout, m.Recovery)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -114,8 +128,9 @@ func main() {
 		if rep.FellBackToHV {
 			fallback = ", fell back to HV"
 		}
-		fmt.Printf("fault recovery: %.1fs across %d retries%s\n",
-			rep.RecoverySeconds, rep.Retries, fallback)
+		fmt.Printf("fault recovery: %.1fs across %d retries%s (sheds %d, breaker trips %d, timeouts %d)\n",
+			rep.RecoverySeconds, rep.Retries, fallback,
+			sm.Sheds, sm.BreakerTrips, sm.Timeouts)
 	}
 	if len(rep.UsedViews) > 0 {
 		fmt.Printf("views used: %v\n", rep.UsedViews)

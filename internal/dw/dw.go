@@ -9,8 +9,10 @@
 package dw
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"miso/internal/exec"
 	"miso/internal/expr"
@@ -59,7 +61,11 @@ type Result struct {
 	Seconds float64
 }
 
-// Store is the DW instance.
+// Store is the DW instance. Temporary table space is guarded by an
+// internal mutex so the serving layer's observers race neither with
+// staging nor with the end-of-query cleanup; the Views set is internally
+// locked itself, and reassignment of the Views field is serialized by the
+// multistore system's mutex.
 type Store struct {
 	cfg Config
 	est *stats.Estimator
@@ -68,6 +74,7 @@ type Store struct {
 	// design.
 	Views *views.Set
 
+	mu   sync.Mutex
 	temp map[string]*storage.Table
 }
 
@@ -82,19 +89,28 @@ func (s *Store) Config() Config { return s.cfg }
 // StageTemp registers a migrated working set under the given name in
 // temporary table space (not part of the physical design).
 func (s *Store) StageTemp(name string, t *storage.Table) {
+	s.mu.Lock()
 	s.temp[name] = t
+	s.mu.Unlock()
 	s.est.RecordView(name, stats.Stat{Rows: int64(t.NumRows()), Bytes: t.LogicalBytes()})
 }
 
 // ClearTemp discards all temporary tables (end of query).
-func (s *Store) ClearTemp() { s.temp = map[string]*storage.Table{} }
+func (s *Store) ClearTemp() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.temp = map[string]*storage.Table{}
+}
 
 // Resolve finds a table by view name in permanent then temporary space.
 func (s *Store) Resolve(name string) (*storage.Table, error) {
 	if v, ok := s.Views.Get(name); ok {
 		return v.Table, nil
 	}
-	if t, ok := s.temp[name]; ok {
+	s.mu.Lock()
+	t, ok := s.temp[name]
+	s.mu.Unlock()
+	if ok {
 		return t, nil
 	}
 	return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
@@ -114,6 +130,12 @@ func (s *Store) Env() *exec.Env {
 // Execute runs a subplan entirely inside DW. The plan must be UDF-free and
 // leaf only on resolvable views/temp tables.
 func (s *Store) Execute(plan *logical.Node) (*Result, error) {
+	return s.ExecuteContext(context.Background(), plan)
+}
+
+// ExecuteContext runs a subplan inside DW, abandoning it at the next
+// operator boundary once ctx is done (the error then wraps ctx.Err()).
+func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node) (*Result, error) {
 	if plan.UsesUDF() {
 		return nil, ErrUDF
 	}
@@ -121,6 +143,9 @@ func (s *Store) Execute(plan *logical.Node) (*Result, error) {
 	tables := map[*logical.Node]*storage.Table{}
 	var run func(n *logical.Node) (*storage.Table, error)
 	run = func(n *logical.Node) (*storage.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dw: abandoned: %w", err)
+		}
 		var inputs []*storage.Table
 		switch n.Kind {
 		case logical.KindExtract, logical.KindViewScan:

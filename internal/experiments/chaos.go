@@ -7,10 +7,15 @@ import (
 	"miso/internal/multistore"
 )
 
-// ChaosPoint is one (failure rate, variant) cell of the chaos sweep.
+// ChaosPoint is one (failure rate, variant, mode) cell of the chaos
+// sweep. Mode "seq" replays the workload single-stream through
+// System.Run; mode "serve" replays it through the concurrent serving
+// frontend, where the extra columns (sheds, breaker trips, degraded
+// queries) become meaningful.
 type ChaosPoint struct {
 	Rate      float64
 	Variant   multistore.Variant
+	Mode      string
 	TTI       float64
 	Recovery  float64
 	Retries   int
@@ -18,12 +23,20 @@ type ChaosPoint struct {
 	// Completed counts queries that produced a result (all of them, if
 	// recovery holds up; the sweep fails the run otherwise).
 	Completed int
+	// Sheds / BreakerTrips / Timeouts / Degraded are the serving-plane
+	// outcomes; always zero in mode "seq".
+	Sheds        int
+	BreakerTrips int
+	Timeouts     int
+	Degraded     int
 }
 
 // ChaosResult is the fault-injection experiment (robustness extension, not
 // in the paper): the 32-query workload replayed under increasing uniform
 // failure rates, comparing the tuned system against the untuned multistore
-// baseline. All runs share one seed so the sweep is reproducible.
+// baseline, sequentially and through the concurrent serving frontend. All
+// runs share one seed; the sequential rows are byte-reproducible, the
+// serve rows are reproducible up to worker interleaving.
 type ChaosResult struct {
 	Seed   int64
 	Points []ChaosPoint
@@ -32,8 +45,18 @@ type ChaosResult struct {
 // ChaosRates are the uniform per-operation failure rates swept.
 var ChaosRates = []float64{0, 0.01, 0.02, 0.05, 0.10}
 
+// chaosServeSessions shapes the serve-mode rows: more concurrent
+// sessions than worker-pool-plus-queue capacity, so admission control
+// has real work to do, without drowning the sweep in wall time.
+const (
+	chaosServeSessions = 6
+	chaosServeWorkers  = 2
+	chaosServeQueue    = 2
+)
+
 // Chaos runs the sweep. Each point uses a fresh system; the injector seed
-// is fixed so repeated invocations reproduce byte-identical tables.
+// is fixed so repeated invocations reproduce the sequential rows
+// byte-identically.
 func Chaos(cfg Config) (*ChaosResult, error) {
 	const seed = 42
 	res := &ChaosResult{Seed: seed}
@@ -50,6 +73,7 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 			res.Points = append(res.Points, ChaosPoint{
 				Rate:      rate,
 				Variant:   v,
+				Mode:      "seq",
 				TTI:       m.TTI(),
 				Recovery:  m.Recovery,
 				Retries:   m.Retries,
@@ -57,28 +81,64 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 				Completed: len(sys.Reports()),
 			})
 		}
+		// One serve-mode row per rate: the tuned system behind the
+		// concurrent frontend.
+		c := cfg
+		c.FaultRate = rate
+		c.FaultSeed = seed
+		sc := SoakConfig{
+			Config:   c,
+			Variant:  multistore.VariantMSMiso,
+			Sessions: chaosServeSessions,
+			Workers:  chaosServeWorkers,
+			Queue:    chaosServeQueue,
+		}
+		sr, err := Soak(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos serve rate %.2f: %w", rate, err)
+		}
+		if sr.InvariantErr != nil {
+			return nil, fmt.Errorf("experiments: chaos serve rate %.2f: %w", rate, sr.InvariantErr)
+		}
+		sm := sr.System
+		res.Points = append(res.Points, ChaosPoint{
+			Rate:         rate,
+			Variant:      multistore.VariantMSMiso,
+			Mode:         "serve",
+			TTI:          sm.TTI(),
+			Recovery:     sm.Recovery,
+			Retries:      sm.Retries,
+			Fallbacks:    sm.Fallbacks,
+			Completed:    sr.Serve.Completed,
+			Sheds:        sr.Serve.Sheds,
+			BreakerTrips: sr.Serve.BreakerTrips,
+			Timeouts:     sr.Serve.Timeouts,
+			Degraded:     sr.Serve.Degraded,
+		})
 	}
 	return res, nil
 }
 
 // WriteText renders the sweep as a table: TTI and its recovery share per
-// failure rate, for each variant.
+// failure rate, for each variant and serving mode.
 func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "Chaos sweep: uniform failure rate vs TTI (seed %d)\n", r.Seed)
-	fprintf(w, "%6s %-10s %12s %12s %8s %9s %9s\n",
-		"rate", "variant", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbacks")
+	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s\n",
+		"rate", "variant", "mode", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbk", "sheds", "trips", "degraded")
 	for _, p := range r.Points {
 		pct := 0.0
 		if p.TTI > 0 {
 			pct = 100 * p.Recovery / p.TTI
 		}
-		fprintf(w, "%5.0f%% %-10s %12.1f %12.1f %7.1f%% %9d %9d\n",
-			100*p.Rate, p.Variant, p.TTI, p.Recovery, pct, p.Retries, p.Fallbacks)
+		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d\n",
+			100*p.Rate, p.Variant, p.Mode, p.TTI, p.Recovery, pct,
+			p.Retries, p.Fallbacks, p.Sheds, p.BreakerTrips, p.Degraded)
 	}
 	n := 0
 	if len(r.Points) > 0 {
 		n = r.Points[0].Completed
 	}
-	fprintf(w, "all %d-query runs completed under every rate; recovery time is the\n", n)
-	fprintf(w, "price of retries, backoff and HV fallbacks charged by the fault plane\n")
+	fprintf(w, "all %d-query sequential runs completed under every rate; serve rows add\n", n)
+	fprintf(w, "admission sheds, DW breaker trips and degraded HV-only service on top of\n")
+	fprintf(w, "the retries, backoff and HV fallbacks charged by the fault plane\n")
 }

@@ -38,7 +38,11 @@ func BuildTimeline(sys *multistore.System) []sim.Event {
 			events = append(events, sim.Event{Kind: sim.EventRecovery, Seconds: s})
 		}
 		if rep.HVSeconds > 0 {
-			events = append(events, sim.Event{Kind: sim.EventHV, Seconds: rep.HVSeconds})
+			kind := sim.EventHV
+			if rep.Degraded {
+				kind = sim.EventDegraded
+			}
+			events = append(events, sim.Event{Kind: kind, Seconds: rep.HVSeconds})
 		}
 		if rep.TransferSeconds > 0 {
 			events = append(events, sim.Event{Kind: sim.EventTransfer, Seconds: rep.TransferSeconds})
@@ -100,6 +104,7 @@ func (r *Fig9Result) WriteText(w io.Writer) {
 	phase := map[sim.EventKind]string{
 		sim.EventHV: "Q(hv)", sim.EventTransfer: "T", sim.EventReorg: "R",
 		sim.EventDW: "Q(dw)", sim.EventIdle: "idle", sim.EventRecovery: "rec",
+		sim.EventDegraded: "Q(deg)",
 	}
 	// Downsample to at most ~120 rows, but always include phase changes.
 	step := len(o.Samples) / 120

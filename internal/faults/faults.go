@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Site identifies one injection point in the system.
@@ -182,9 +183,13 @@ func (r RetryPolicy) Backoff(attempt int) float64 {
 
 // Injector draws failures from a profile with a seeded generator. A nil
 // Injector is valid and never fails anything, so call sites need no
-// guards. Injector is not safe for concurrent use; the multistore system
-// serializes access behind its own mutex.
+// guards. Injector is safe for concurrent use: Check serializes draws
+// behind an internal mutex, so the draw sequence stays a pure function of
+// the (globally ordered) sequence of Check calls. The multistore system
+// additionally serializes query execution, which keeps that order — and
+// therefore chaos runs — deterministic for a fixed submission order.
 type Injector struct {
+	mu      sync.Mutex
 	profile Profile
 	rng     *rand.Rand
 	counts  [numSites]int
@@ -215,6 +220,8 @@ func (in *Injector) Check(site Site) (failed bool, frac float64) {
 	if rate <= 0 {
 		return false, 1
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.rng.Float64() >= rate {
 		return false, 1
 	}
@@ -227,6 +234,8 @@ func (in *Injector) Injected(site Site) int {
 	if in == nil || site < 0 || site >= numSites {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.counts[site]
 }
 
@@ -235,6 +244,8 @@ func (in *Injector) TotalInjected() int {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	n := 0
 	for _, c := range in.counts {
 		n += c

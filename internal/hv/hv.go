@@ -10,6 +10,7 @@
 package hv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -176,12 +177,24 @@ func (s *Store) jobSeconds(normal, serde, out int64) float64 {
 // recording observed statistics, and capturing new opportunistic views.
 // seq is the workload sequence number (for view bookkeeping).
 func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
+	return s.ExecuteContext(context.Background(), plan, seq)
+}
+
+// ExecuteContext runs the plan like Execute but abandons it at the next
+// stage boundary once ctx is done. An abandoned execution returns a nil
+// Result and an error wrapping ctx.Err(); any simulated time the caller
+// had already accrued for earlier phases is its to charge (the multistore
+// books it under RECOVERY).
+func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int) (*Result, error) {
 	env := s.Env()
 	mat := MaterializedNodes(plan)
 	tables := map[*logical.Node]*storage.Table{}
 
 	var run func(n *logical.Node) (*storage.Table, error)
 	run = func(n *logical.Node) (*storage.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hv: abandoned: %w", err)
+		}
 		var inputs []*storage.Table
 		switch n.Kind {
 		case logical.KindExtract, logical.KindViewScan:

@@ -9,6 +9,8 @@
 package multistore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -119,6 +121,14 @@ type Metrics struct {
 	Fallbacks int
 	// Retries counts injected failures survived anywhere in the system.
 	Retries int
+	// Canceled counts queries abandoned mid-plan by a deadline or
+	// cancellation; their partial work is charged to Recovery and they do
+	// not count toward Queries.
+	Canceled int
+	// Degraded counts queries forced onto the HV-only path by the serving
+	// layer (DW circuit breaker open). They complete and count toward
+	// Queries; their time is charged to HVExe like any HV execution.
+	Degraded int
 }
 
 // TTI returns the total time-to-insight.
@@ -145,6 +155,13 @@ type QueryReport struct {
 	// (transfer aborted or DW side gave out) and that completed by
 	// re-running entirely in HV.
 	FellBackToHV bool
+	// FallbackCause is the error that forced the HV fallback; it wraps
+	// faults.ErrExhausted. Nil when FellBackToHV is false. The serving
+	// layer's DW circuit breaker keys off this field.
+	FallbackCause error
+	// Degraded marks a query routed onto the forced HV-only path by the
+	// serving layer while the DW circuit breaker was open (RunDegraded).
+	Degraded bool
 
 	// HVOps / DWOps count plan operators executed in each store.
 	HVOps, DWOps int
@@ -287,21 +304,51 @@ func (s *System) DW() *dw.Store { return s.dw }
 // Optimizer returns the multistore query optimizer.
 func (s *System) Optimizer() *optimizer.Optimizer { return s.opt }
 
-// Metrics returns the accumulated TTI breakdown.
-func (s *System) Metrics() Metrics { return s.metrics }
+// Metrics returns a snapshot of the accumulated TTI breakdown. It is safe
+// to call while queries run; the snapshot is a consistent point-in-time
+// copy.
+func (s *System) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
 
 // FaultInjector returns the system's fault injector (nil when injection
 // is disabled); useful for inspecting injected-failure counts.
 func (s *System) FaultInjector() *faults.Injector { return s.inj }
 
-// Reports returns per-query execution reports in submission order.
-func (s *System) Reports() []*QueryReport { return s.reports }
+// Reports returns deep copies of the per-query execution reports in
+// submission order: callers can neither observe nor cause races on
+// internal mutation. Result tables are shared — they are write-once and
+// never mutated after execution.
+func (s *System) Reports() []*QueryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*QueryReport, len(s.reports))
+	for i, r := range s.reports {
+		cp := *r
+		cp.UsedViews = append([]string(nil), r.UsedViews...)
+		out[i] = &cp
+	}
+	return out
+}
 
-// ReorgLog returns one record per reorganization phase.
-func (s *System) ReorgLog() []ReorgRecord { return s.reorgLog }
+// ReorgLog returns a snapshot of the per-reorganization records.
+func (s *System) ReorgLog() []ReorgRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ReorgRecord(nil), s.reorgLog...)
+}
 
 // Design returns the current placement of views.
 func (s *System) Design() optimizer.Design {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.design()
+}
+
+// design is Design without the lock, for callers already holding s.mu.
+func (s *System) design() optimizer.Design {
 	return optimizer.Design{HV: s.hv.Views, DW: s.dw.Views}
 }
 
@@ -340,15 +387,30 @@ func (s *System) Explain(sql string) (string, error) {
 
 // Run submits one query to the system and returns its report.
 func (s *System) Run(sql string) (*QueryReport, error) {
+	return s.RunContext(context.Background(), sql)
+}
+
+// RunContext submits one query under a context. When ctx is canceled or
+// its deadline fires, the query is abandoned at the next phase boundary
+// (between HV stages, before a transfer, before the DW part): the work it
+// had already paid for is charged to the RECOVERY TTI component, Canceled
+// is incremented, and the returned error wraps ctx.Err(). A query whose
+// context is already done before any work starts returns an error without
+// charging anything. With a background context RunContext is byte-
+// identical to Run.
+func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("multistore: query not started: %w", err)
+	}
 	plan, err := s.builder.BuildSQL(sql)
 	if err != nil {
 		return nil, err
 	}
 	entry := history.Entry{Seq: s.seq, SQL: sql, Plan: plan}
 
-	rep, err := s.runVariant(entry)
+	rep, err := s.runVariant(ctx, entry)
 	if err != nil {
 		return nil, err
 	}
@@ -359,42 +421,112 @@ func (s *System) Run(sql string) (*QueryReport, error) {
 	return rep, nil
 }
 
-func (s *System) runVariant(e history.Entry) (*QueryReport, error) {
+// RunDegraded executes the query entirely in HV regardless of variant —
+// the serving layer routes queries here while the DW circuit breaker is
+// open. HV always holds the base logs, so any query can complete on this
+// path. Opportunistic by-products are retained as usual (the store keeps
+// warming while DW is out) and the execution time is charged to HVEXE:
+// degraded service is productive work, not recovery. Reorganization is
+// never triggered from this path — moving views into a store the breaker
+// just declared unhealthy would be counterproductive.
+func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("multistore: query not started: %w", err)
+	}
+	plan, err := s.builder.BuildSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	entry := history.Entry{Seq: s.seq, SQL: sql, Plan: plan}
+	rewritten := optimizer.RewriteWithViews(plan, s.hv.Views)
+	res, err := s.hv.ExecuteContext(ctx, rewritten, entry.Seq)
+	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, &QueryReport{Seq: entry.Seq, SQL: sql}, entry.Seq)
+		}
+		return nil, fmt.Errorf("multistore: degraded query %d in HV: %w", entry.Seq, err)
+	}
+	rep := &QueryReport{
+		Seq: entry.Seq, SQL: sql,
+		HVSeconds:       res.Seconds,
+		RecoverySeconds: res.RecoverySeconds,
+		Retries:         res.Retries,
+		HVOps:           countOps(rewritten),
+		HVOnly:          true,
+		Degraded:        true,
+		UsedViews:       s.markUsedViews(rewritten, entry.Seq),
+		NewViews:        len(res.NewViews),
+		ResultRows:      res.Table.NumRows(),
+		Result:          res.Table,
+	}
+	s.metrics.HVExe += res.Seconds
+	s.addRecovery(res.RecoverySeconds, res.Retries)
+	s.metrics.Degraded++
+	s.window.Add(entry)
+	s.seq++
+	s.metrics.Queries++
+	s.reports = append(s.reports, rep)
+	return rep, nil
+}
+
+// isCtxErr reports whether err stems from context cancellation or an
+// expired deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// abandon books a query canceled mid-plan: every simulated second it had
+// already accrued (completed HV cuts, transfers, DW work, recovery) is
+// charged to RECOVERY — work done and thrown away — and staged temp
+// tables are discarded. Returns the typed cancellation error.
+func (s *System) abandon(ctx context.Context, rep *QueryReport, seq int) error {
+	wasted := rep.HVSeconds + rep.TransferSeconds + rep.DWSeconds + rep.RecoverySeconds
+	s.metrics.Recovery += wasted
+	s.metrics.Retries += rep.Retries
+	s.metrics.Canceled++
+	s.dw.ClearTemp()
+	return fmt.Errorf("multistore: query %d abandoned mid-plan (%.1fs charged to recovery): %w",
+		seq, wasted, ctx.Err())
+}
+
+func (s *System) runVariant(ctx context.Context, e history.Entry) (*QueryReport, error) {
 	switch s.cfg.Variant {
 	case VariantHVOnly:
-		rep, err := s.runHVOnly(e)
+		rep, err := s.runHVOnly(ctx, e)
 		if err != nil {
 			return nil, err
 		}
 		s.hv.Views = freshSet() // no retention
 		return rep, nil
 	case VariantHVOp:
-		return s.runHVOp(e)
+		return s.runHVOp(ctx, e)
 	case VariantDWOnly:
-		return s.runDWOnly(e)
+		return s.runDWOnly(ctx, e)
 	case VariantMSBasic:
-		rep, err := s.runMultistore(e, optimizer.EmptyDesign())
+		rep, err := s.runMultistore(ctx, e, optimizer.EmptyDesign())
 		if err != nil {
 			return nil, err
 		}
 		s.hv.Views = freshSet() // transfers and by-products are discarded
 		return rep, nil
 	case VariantMSLru:
-		return s.runMSLru(e)
+		return s.runMSLru(ctx, e)
 	case VariantMSMiso:
 		if s.reorgDue() {
 			if err := s.reorg(s.window); err != nil {
 				return nil, err
 			}
 		}
-		return s.runMultistore(e, s.Design())
+		return s.runMultistore(ctx, e, s.design())
 	case VariantMSOra:
 		if s.reorgDue() {
 			if err := s.reorg(s.oracleWindow()); err != nil {
 				return nil, err
 			}
 		}
-		return s.runMultistore(e, s.Design())
+		return s.runMultistore(ctx, e, s.design())
 	case VariantMSOff:
 		if !s.offTuned {
 			if err := s.offlineTune(); err != nil {
@@ -402,7 +534,7 @@ func (s *System) runVariant(e history.Entry) (*QueryReport, error) {
 			}
 			s.offTuned = true
 		}
-		rep, err := s.runMultistore(e, s.Design())
+		rep, err := s.runMultistore(ctx, e, s.design())
 		if err != nil {
 			return nil, err
 		}
@@ -411,6 +543,54 @@ func (s *System) runVariant(e history.Entry) (*QueryReport, error) {
 	default:
 		return nil, fmt.Errorf("multistore: unknown variant %q", s.cfg.Variant)
 	}
+}
+
+// CheckInvariants verifies the catalog-level invariants the recovery and
+// serving machinery promise to preserve, regardless of faults, deadlines,
+// or concurrent submission: the two stores never hold the same view
+// (Vh ∩ Vd = ∅), both view sets fit their storage budgets, no
+// reorganization moved more than the transfer budget or recorded negative
+// byte counts, every TTI component is non-negative, and the query counter
+// matches the report log. It is safe to call at any time.
+func (s *System) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.hv.Views.All() {
+		if s.dw.Views.Has(v.Name) {
+			return fmt.Errorf("multistore: view %q present in both HV and DW", v.Name)
+		}
+	}
+	if got, bh := s.hv.Views.TotalBytes(), s.cfg.Tuner.Bh; got > bh {
+		return fmt.Errorf("multistore: HV views %d bytes exceed Bh %d", got, bh)
+	}
+	if got, bd := s.dw.Views.TotalBytes(), s.cfg.Tuner.Bd; got > bd {
+		return fmt.Errorf("multistore: DW views %d bytes exceed Bd %d", got, bd)
+	}
+	for _, rec := range s.reorgLog {
+		if rec.Bytes < 0 || rec.RefundedBytes < 0 {
+			return fmt.Errorf("multistore: reorg before query %d has negative byte accounting", rec.BeforeSeq)
+		}
+		if rec.Bytes > s.cfg.Tuner.Bt {
+			return fmt.Errorf("multistore: reorg before query %d moved %d bytes, transfer budget %d",
+				rec.BeforeSeq, rec.Bytes, s.cfg.Tuner.Bt)
+		}
+	}
+	m := s.metrics
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"HVExe", m.HVExe}, {"DWExe", m.DWExe}, {"Transfer", m.Transfer},
+		{"Tune", m.Tune}, {"ETL", m.ETL}, {"Recovery", m.Recovery},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("multistore: negative %s component %f", c.name, c.v)
+		}
+	}
+	if m.Queries != len(s.reports) {
+		return fmt.Errorf("multistore: %d queries counted but %d reports", m.Queries, len(s.reports))
+	}
+	return nil
 }
 
 // reorgDue reports whether a reorganization phase precedes this query.

@@ -1,6 +1,7 @@
 package multistore
 
 import (
+	"context"
 	"fmt"
 
 	"miso/internal/core"
@@ -15,9 +16,12 @@ import (
 func freshSet() *views.Set { return views.NewSet() }
 
 // runHVOnly executes the whole query in HV with no views.
-func (s *System) runHVOnly(e history.Entry) (*QueryReport, error) {
-	res, err := s.hv.Execute(e.Plan, e.Seq)
+func (s *System) runHVOnly(ctx context.Context, e history.Entry) (*QueryReport, error) {
+	res, err := s.hv.ExecuteContext(ctx, e.Plan, e.Seq)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
 	s.metrics.HVExe += res.Seconds
@@ -37,10 +41,13 @@ func (s *System) runHVOnly(e history.Entry) (*QueryReport, error) {
 
 // runHVOp executes in HV, reusing and retaining opportunistic views under
 // an LRU policy within the HV storage budget.
-func (s *System) runHVOp(e history.Entry) (*QueryReport, error) {
+func (s *System) runHVOp(ctx context.Context, e history.Entry) (*QueryReport, error) {
 	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
-	res, err := s.hv.Execute(plan, e.Seq)
+	res, err := s.hv.ExecuteContext(ctx, plan, e.Seq)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
 	used := s.markUsedViews(plan, e.Seq)
@@ -62,7 +69,7 @@ func (s *System) runHVOp(e history.Entry) (*QueryReport, error) {
 }
 
 // runDWOnly serves the query entirely from DW after the one-time ETL.
-func (s *System) runDWOnly(e history.Entry) (*QueryReport, error) {
+func (s *System) runDWOnly(ctx context.Context, e history.Entry) (*QueryReport, error) {
 	if !s.etlDone {
 		if err := s.runETL(); err != nil {
 			return nil, err
@@ -73,8 +80,11 @@ func (s *System) runDWOnly(e history.Entry) (*QueryReport, error) {
 	if hasRawScan(plan) {
 		return nil, fmt.Errorf("multistore: DW-ONLY query %d not covered by the ETL'd data", e.Seq)
 	}
-	res, err := s.dw.Execute(plan)
+	res, err := s.dw.ExecuteContext(ctx, plan)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
 	rep := &QueryReport{
@@ -100,15 +110,18 @@ func (s *System) runDWOnly(e history.Entry) (*QueryReport, error) {
 // working sets live in DW temp space for the duration of the query only;
 // HV by-products accumulate in the store and callers that do not retain
 // them (MS-BASIC, MS-OFF) reset or trim the HV view set afterwards.
-func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryReport, error) {
+func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer.Design) (*QueryReport, error) {
 	mp, err := s.opt.Choose(e.Plan, d)
 	if err != nil {
 		return nil, err
 	}
 	rep := &QueryReport{Seq: e.Seq, SQL: e.SQL}
 	if mp.HVOnly {
-		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
+		res, err := s.hv.ExecuteContext(ctx, mp.HVPlan, e.Seq)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, s.abandon(ctx, rep, e.Seq)
+			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds = res.Seconds
@@ -131,8 +144,11 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 			continue // answered directly from a DW-resident view
 		}
 		bypassed = false
-		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
+		res, err := s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, s.abandon(ctx, rep, e.Seq)
+			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds += res.Seconds
@@ -142,6 +158,12 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 		rep.NewViews += len(res.NewViews)
 		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
 
+		// Deadline checkpoint before committing to the transfer: an
+		// abandoned query must not consume injector draws the sequential
+		// path would have used differently.
+		if ctx.Err() != nil {
+			return nil, s.abandon(ctx, rep, e.Seq)
+		}
 		bytes := res.Table.LogicalBytes()
 		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
 		rep.Retries += mv.Retries
@@ -149,7 +171,7 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 			// The move aborted: everything it paid is wasted. Degrade
 			// gracefully by completing the query entirely in HV.
 			rep.RecoverySeconds += mv.WastedSeconds()
-			return s.fallbackHV(e, rep, mvErr)
+			return s.fallbackHV(ctx, e, rep, mvErr)
 		}
 		rep.RecoverySeconds += mv.RecoverySeconds
 		rep.TransferBytes += bytes
@@ -158,13 +180,19 @@ func (s *System) runMultistore(e history.Entry, d optimizer.Design) (*QueryRepor
 	}
 	rep.BypassedHV = bypassed
 
-	dwRes, err := s.dw.Execute(mp.DWPart)
+	if ctx.Err() != nil {
+		return nil, s.abandon(ctx, rep, e.Seq)
+	}
+	dwRes, err := s.dw.ExecuteContext(ctx, mp.DWPart)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, rep, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
 	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
 		// DW gave out mid-query: degrade to HV.
-		return s.fallbackHV(e, rep, err)
+		return s.fallbackHV(ctx, e, rep, err)
 	}
 	rep.DWSeconds = dwRes.Seconds
 	rep.DWOps = countOps(mp.DWPart)
@@ -206,14 +234,18 @@ func (s *System) simulateDWQuery(sec float64, rep *QueryReport) error {
 // already paid stays in its component; the fallback execution itself is
 // the penalty, charged to RECOVERY. This is the graceful-degradation path:
 // HV always holds the base logs, so any query can complete there.
-func (s *System) fallbackHV(e history.Entry, rep *QueryReport, cause error) (*QueryReport, error) {
+func (s *System) fallbackHV(ctx context.Context, e history.Entry, rep *QueryReport, cause error) (*QueryReport, error) {
 	s.dw.ClearTemp()
 	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
-	res, err := s.hv.Execute(plan, e.Seq)
+	res, err := s.hv.ExecuteContext(ctx, plan, e.Seq)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, rep, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d failed (%v) and its HV fallback failed too: %w", e.Seq, cause, err)
 	}
 	rep.FellBackToHV = true
+	rep.FallbackCause = cause
 	rep.RecoverySeconds += res.Seconds + res.RecoverySeconds
 	rep.Retries += res.Retries
 	rep.NewViews += len(res.NewViews)
@@ -241,15 +273,18 @@ func (s *System) addRecovery(sec float64, retries int) {
 // as DW-resident views under an LRU policy — an access-based cache with no
 // benefit or interaction analysis. HV by-products are not retained (that
 // would be HV-OP's mechanism, not passive transfer caching).
-func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
-	mp, err := s.opt.Choose(e.Plan, s.Design())
+func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, error) {
+	mp, err := s.opt.Choose(e.Plan, s.design())
 	if err != nil {
 		return nil, err
 	}
 	rep := &QueryReport{Seq: e.Seq, SQL: e.SQL}
 	if mp.HVOnly {
-		res, err := s.hv.Execute(mp.HVPlan, e.Seq)
+		res, err := s.hv.ExecuteContext(ctx, mp.HVPlan, e.Seq)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, s.abandon(ctx, rep, e.Seq)
+			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds = res.Seconds
@@ -272,8 +307,11 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 			continue
 		}
 		bypassed = false
-		res, err := s.hv.Execute(cut.HVPlan, e.Seq)
+		res, err := s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, s.abandon(ctx, rep, e.Seq)
+			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
 		rep.HVSeconds += res.Seconds
@@ -282,12 +320,15 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 		rep.HVOps += countOps(cut.HVPlan)
 		rep.NewViews += len(res.NewViews)
 		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
+		if ctx.Err() != nil {
+			return nil, s.abandon(ctx, rep, e.Seq)
+		}
 		bytes := res.Table.LogicalBytes()
 		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
 		rep.Retries += mv.Retries
 		if mvErr != nil {
 			rep.RecoverySeconds += mv.WastedSeconds()
-			rep, err := s.fallbackHV(e, rep, mvErr)
+			rep, err := s.fallbackHV(ctx, e, rep, mvErr)
 			if err != nil {
 				return nil, err
 			}
@@ -311,12 +352,18 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 		}
 	}
 	rep.BypassedHV = bypassed
-	dwRes, err := s.dw.Execute(mp.DWPart)
+	if ctx.Err() != nil {
+		return nil, s.abandon(ctx, rep, e.Seq)
+	}
+	dwRes, err := s.dw.ExecuteContext(ctx, mp.DWPart)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, s.abandon(ctx, rep, e.Seq)
+		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
 	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
-		rep, err := s.fallbackHV(e, rep, err)
+		rep, err := s.fallbackHV(ctx, e, rep, err)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +396,7 @@ func (s *System) runMSLru(e history.Entry) (*QueryReport, error) {
 // fail. Time lost to failed moves is charged to RECOVERY, not TUNE.
 func (s *System) reorg(w *history.Window) error {
 	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
-	r, err := tuner.Tune(s.Design(), w)
+	r, err := tuner.Tune(s.design(), w)
 	if err != nil {
 		return fmt.Errorf("multistore: tuning: %w", err)
 	}
@@ -442,7 +489,7 @@ func (s *System) offlineTune() error {
 		w.Add(e)
 	}
 	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
-	r, err := tuner.Tune(s.Design(), w)
+	r, err := tuner.Tune(s.design(), w)
 	if err != nil {
 		return err
 	}

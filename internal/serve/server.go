@@ -1,0 +1,326 @@
+// Package serve is the concurrent query-serving frontend over the
+// multistore system. It adds the operational plane a shared deployment
+// needs on top of multistore.System's serialized execution core: a
+// bounded worker pool fed by an admission queue that sheds load when
+// full, per-query deadlines that abandon work mid-plan through
+// context.Context, a circuit breaker that routes queries onto the
+// degraded HV-only path while DW is unhealthy, and online
+// reorganization that quiesces in-flight queries behind a drain barrier
+// before mutating the physical design.
+//
+// Queries still execute one at a time inside the backend (the paper's
+// single-stream model); concurrency here is about admission, deadline
+// enforcement, and health-based routing, not parallel plan execution.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"miso/internal/faults"
+	"miso/internal/multistore"
+)
+
+// Typed errors callers match with errors.Is.
+var (
+	// ErrShed marks a query rejected at admission because the queue was
+	// full: no work was started and nothing was charged.
+	ErrShed = errors.New("serve: admission queue full, query shed")
+	// ErrClosed marks a submission to a server that has been closed.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Backend is the execution engine the server drives. *multistore.System
+// implements it; tests substitute stubs to exercise the serving plane in
+// isolation.
+type Backend interface {
+	// RunContext executes one query on the normal (multistore) path.
+	RunContext(ctx context.Context, sql string) (*multistore.QueryReport, error)
+	// RunDegraded executes one query on the forced HV-only path.
+	RunDegraded(ctx context.Context, sql string) (*multistore.QueryReport, error)
+	// Reorganize runs one reorganization phase. The server guarantees no
+	// query is in flight when it is called.
+	Reorganize() error
+}
+
+// Config tunes the serving frontend. The zero value is usable: 4
+// workers, a queue twice the worker count, no per-query deadline, a 30s
+// drain timeout, and default breaker thresholds.
+type Config struct {
+	// Workers is the number of concurrent serving workers.
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond
+	// Workers+QueueDepth in flight are shed with ErrShed.
+	QueueDepth int
+	// QueryTimeout is the per-query deadline applied at admission; zero
+	// disables it. The deadline covers queue wait plus execution.
+	QueryTimeout time.Duration
+	// DrainTimeout bounds how long Reorganize waits for in-flight queries
+	// to finish before canceling them.
+	DrainTimeout time.Duration
+	// Breaker tunes the DW circuit breaker.
+	Breaker BreakerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Metrics counts what the serving plane did. Every submission lands in
+// exactly one of Completed, Sheds, Timeouts, Canceled, or Failed, so
+// Submitted always equals their sum.
+type Metrics struct {
+	// Submitted counts calls to Do that passed the closed check.
+	Submitted int
+	// Completed counts queries that returned a report (including
+	// degraded ones).
+	Completed int
+	// Sheds counts queries rejected at admission (ErrShed).
+	Sheds int
+	// Timeouts counts queries abandoned because their deadline fired.
+	Timeouts int
+	// Canceled counts queries abandoned by caller- or drain-initiated
+	// cancellation.
+	Canceled int
+	// Failed counts queries that errored for any other reason.
+	Failed int
+	// Degraded counts completed queries served on the forced HV-only
+	// path while the breaker was open.
+	Degraded int
+	// BreakerTrips counts closed→open (and half-open→open) transitions.
+	BreakerTrips int
+	// BreakerProbes counts half-open probe queries admitted to the
+	// normal path.
+	BreakerProbes int
+	// Reorgs counts completed online reorganizations.
+	Reorgs int
+	// ReorgCancels counts in-flight queries canceled by a drain barrier
+	// that hit its timeout.
+	ReorgCancels int
+}
+
+// Check verifies the accounting invariant.
+func (m Metrics) Check() error {
+	if sum := m.Completed + m.Sheds + m.Timeouts + m.Canceled + m.Failed; sum != m.Submitted {
+		return fmt.Errorf("serve: %d submissions but outcomes sum to %d", m.Submitted, sum)
+	}
+	return nil
+}
+
+type jobResult struct {
+	rep *multistore.QueryReport
+	err error
+}
+
+type job struct {
+	ctx  context.Context
+	sql  string
+	done chan jobResult
+}
+
+// Server is the serving frontend. Create it with NewServer; Do submits
+// queries from any goroutine; Close drains the workers.
+type Server struct {
+	cfg     Config
+	backend Backend
+	br      *breaker
+	jobs    chan *job
+	wg      sync.WaitGroup
+
+	// gate is the drain barrier: every executing query holds it for
+	// read, Reorganize holds it for write.
+	gate sync.RWMutex
+
+	mu       sync.Mutex // guards closed, metrics, inflight, nextID
+	closed   bool
+	metrics  Metrics
+	inflight map[int]context.CancelFunc
+	nextID   int
+}
+
+// NewServer starts the worker pool over the backend.
+func NewServer(cfg Config, backend Backend) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		backend:  backend,
+		br:       newBreaker(cfg.Breaker, nil),
+		jobs:     make(chan *job, cfg.QueueDepth),
+		inflight: map[int]context.CancelFunc{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Do submits one query and blocks until it resolves. The returned error
+// is ErrShed when the queue was full, ErrClosed after Close, a
+// context error (possibly wrapped by the backend) when the deadline
+// fired or ctx was canceled, or the backend's execution error.
+func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, error) {
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	j := &job{ctx: ctx, sql: sql, done: make(chan jobResult, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.metrics.Submitted++
+	// Admission: non-blocking send under s.mu, which also excludes Close,
+	// so the channel cannot be closed under the send.
+	select {
+	case s.jobs <- j:
+	default:
+		s.metrics.Sheds++
+		s.mu.Unlock()
+		return nil, ErrShed
+	}
+	id := s.nextID
+	s.nextID++
+	s.inflight[id] = cancel
+	s.mu.Unlock()
+
+	res := <-j.done
+
+	s.mu.Lock()
+	delete(s.inflight, id)
+	switch {
+	case res.err == nil:
+		s.metrics.Completed++
+		if res.rep != nil && res.rep.Degraded {
+			s.metrics.Degraded++
+		}
+	case errors.Is(res.err, context.DeadlineExceeded):
+		s.metrics.Timeouts++
+	case errors.Is(res.err, context.Canceled):
+		s.metrics.Canceled++
+	default:
+		s.metrics.Failed++
+	}
+	s.mu.Unlock()
+	return res.rep, res.err
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.gate.RLock()
+		res := s.execute(j)
+		s.gate.RUnlock()
+		j.done <- res
+	}
+}
+
+// execute routes one query through the breaker and records the verdict.
+func (s *Server) execute(j *job) jobResult {
+	normal, probe := s.br.allow()
+	if !normal {
+		rep, err := s.backend.RunDegraded(j.ctx, j.sql)
+		return jobResult{rep: rep, err: err}
+	}
+	rep, err := s.backend.RunContext(j.ctx, j.sql)
+	switch {
+	case err != nil:
+		// Abandoned or hard-failed before a DW verdict: the probe slot (if
+		// held) goes back so the next query can try.
+		s.br.releaseProbe(probe)
+	case rep.FellBackToHV && errors.Is(rep.FallbackCause, faults.ErrExhausted):
+		s.br.recordFailure(probe)
+	case !rep.HVOnly:
+		// DW was actually exercised and the query completed.
+		s.br.recordSuccess(probe)
+	default:
+		// An HV-only plan proves nothing about DW health.
+		s.br.releaseProbe(probe)
+	}
+	return jobResult{rep: rep, err: err}
+}
+
+// Reorganize quiesces the serving plane and runs one reorganization.
+// It blocks new executions behind the drain barrier, waits up to
+// DrainTimeout for in-flight queries to finish, cancels the stragglers
+// (their partial work is charged to RECOVERY by the backend), and then
+// reorganizes with exclusive access. Queued queries resume afterwards.
+// The barrier cannot deadlock: every query reaches a cancellation
+// checkpoint in bounded work, so a canceled straggler always releases
+// its read lock.
+func (s *Server) Reorganize() error {
+	acquired := make(chan struct{})
+	go func() {
+		s.gate.Lock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(s.cfg.DrainTimeout):
+		// Drain timed out: cancel everything in flight and wait for the
+		// barrier. (sync.RWMutex is not goroutine-affine, so unlocking
+		// here a lock acquired in the helper goroutine is well-defined.)
+		s.mu.Lock()
+		for _, cancel := range s.inflight {
+			cancel()
+			s.metrics.ReorgCancels++
+		}
+		s.mu.Unlock()
+		<-acquired
+	}
+	defer s.gate.Unlock()
+
+	err := s.backend.Reorganize()
+	s.mu.Lock()
+	s.metrics.Reorgs++
+	s.mu.Unlock()
+	return err
+}
+
+// Close stops admission, waits for queued and in-flight queries to
+// finish, and returns. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Metrics returns a snapshot of the serving counters, including the
+// breaker's trip and probe counts.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	m := s.metrics
+	s.mu.Unlock()
+	_, m.BreakerTrips, m.BreakerProbes = s.br.snapshot()
+	return m
+}
+
+// BreakerState returns the breaker's current position.
+func (s *Server) BreakerState() BreakerState {
+	st, _, _ := s.br.snapshot()
+	return st
+}

@@ -28,7 +28,13 @@ func (s Stat) AvgRowBytes() int64 {
 	return s.Bytes / s.Rows
 }
 
-// Estimator estimates subtree output sizes. It is safe for concurrent use.
+// Estimator estimates subtree output sizes. It is safe for concurrent
+// use: the feedback cache sits behind an internal RWMutex, so the
+// serving layer's workers may record observations while other
+// goroutines estimate. Estimates are monotone in observation order but
+// otherwise independent of interleaving — concurrent recording never
+// corrupts a stat, it only decides which observation of the same
+// signature lands last.
 type Estimator struct {
 	cat *storage.Catalog
 

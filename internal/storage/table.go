@@ -28,6 +28,11 @@ func (r Row) EncodedSize() int64 {
 // measured in-memory byte size up to the "logical" size used by the cost
 // model and the storage budgets, so that an MB-scale test dataset stands in
 // for the paper's TB-scale logs.
+//
+// Tables are write-once: built by an operator or loader, then never
+// mutated. That immutability is what lets snapshot accessors (for
+// example multistore.System.Reports) share Table pointers across
+// goroutines without copying or locking.
 type Table struct {
 	Name        string
 	Schema      *Schema

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"miso/internal/expr"
 	"miso/internal/logical"
@@ -151,8 +152,13 @@ func (m *Match) Rewrite() (*logical.Node, error) {
 }
 
 // Set is a named collection of views (one store's design). The zero value
-// is not usable; use NewSet.
+// is not usable; use NewSet. The set's membership is internally locked, so
+// concurrent observers (serving-layer metrics, soak probes) can read it
+// while the owning store mutates it; compound read-modify-write sequences
+// and mutation of the View structs themselves are still serialized by the
+// multistore system's mutex (see DESIGN.md "Concurrency model").
 type Set struct {
+	mu     sync.RWMutex
 	byName map[string]*View
 }
 
@@ -160,25 +166,46 @@ type Set struct {
 func NewSet() *Set { return &Set{byName: map[string]*View{}} }
 
 // Add inserts or replaces a view.
-func (s *Set) Add(v *View) { s.byName[v.Name] = v }
+func (s *Set) Add(v *View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byName[v.Name] = v
+}
 
 // Remove deletes a view by name.
-func (s *Set) Remove(name string) { delete(s.byName, name) }
+func (s *Set) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byName, name)
+}
 
 // Get fetches a view by name.
 func (s *Set) Get(name string) (*View, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.byName[name]
 	return v, ok
 }
 
 // Has reports whether the named view is present.
-func (s *Set) Has(name string) bool { _, ok := s.byName[name]; return ok }
+func (s *Set) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byName[name]
+	return ok
+}
 
 // Len returns the number of views.
-func (s *Set) Len() int { return len(s.byName) }
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
+}
 
 // TotalBytes sums the logical sizes of all views.
 func (s *Set) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, v := range s.byName {
 		n += v.SizeBytes()
@@ -188,10 +215,12 @@ func (s *Set) TotalBytes() int64 {
 
 // All returns the views sorted by name for determinism.
 func (s *Set) All() []*View {
+	s.mu.RLock()
 	out := make([]*View, 0, len(s.byName))
 	for _, v := range s.byName {
 		out = append(out, v)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -199,8 +228,10 @@ func (s *Set) All() []*View {
 // Clone returns a shallow copy of the set (views shared).
 func (s *Set) Clone() *Set {
 	c := NewSet()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, v := range s.byName {
-		c.Add(v)
+		c.byName[v.Name] = v
 	}
 	return c
 }

@@ -17,6 +17,7 @@ import (
 	"miso/internal/data"
 	"miso/internal/faults"
 	"miso/internal/multistore"
+	"miso/internal/serve"
 	"miso/internal/storage"
 )
 
@@ -89,6 +90,34 @@ func DefaultData() DataConfig { return data.DefaultConfig() }
 
 // SmallData returns a small dataset for quick experiments.
 func SmallData() DataConfig { return data.SmallConfig() }
+
+// ServeConfig tunes the concurrent serving frontend: worker pool size,
+// admission queue depth, per-query deadline, drain timeout for online
+// reorganization, and the DW circuit breaker.
+type ServeConfig = serve.Config
+
+// BreakerConfig tunes the DW circuit breaker inside ServeConfig.
+type BreakerConfig = serve.BreakerConfig
+
+// Server is the concurrent query-serving frontend: a bounded worker pool
+// with admission control, per-query deadlines, a DW circuit breaker that
+// degrades to HV-only service, and drain-barrier online reorganization.
+//
+//	srv := miso.NewServer(miso.ServeConfig{Workers: 4, QueryTimeout: time.Minute}, sys)
+//	defer srv.Close()
+//	rep, err := srv.Do(ctx, "SELECT ...")
+type Server = serve.Server
+
+// ServeMetrics counts the serving plane's outcomes (completions, sheds,
+// timeouts, breaker trips, degraded queries, reorganizations).
+type ServeMetrics = serve.Metrics
+
+// ErrShed marks a query rejected at admission because the serving queue
+// was full; match it with errors.Is.
+var ErrShed = serve.ErrShed
+
+// NewServer starts a serving frontend over a running system.
+func NewServer(cfg ServeConfig, sys *System) *Server { return serve.NewServer(cfg, sys) }
 
 // Open generates the dataset and boots a system. If the config's budgets
 // are unset, the paper defaults (2x multiples, Bt = 10 GB) are applied.
