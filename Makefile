@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos soak serve
+.PHONY: tier1 build vet test race bench chaos soak serve crash
 
 # tier1 is the gate every change must pass: clean build, vet, the full
-# test suite under the race detector, and an explicit run of the
-# concurrent-serving soak (also race-enabled).
+# test suite under the race detector, and explicit runs of the
+# concurrent-serving soak and the crash-recovery regression (both
+# race-enabled).
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun' -count 1 ./internal/serve/
+	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem' -count 1 ./internal/multistore/
 
 build:
 	$(GO) build ./...
@@ -34,3 +36,6 @@ soak:
 
 serve:
 	$(GO) run ./cmd/misobench -serve -scale small
+
+crash:
+	$(GO) run ./cmd/misobench -crash -scale small

@@ -9,6 +9,7 @@
 //	misobench -table 2          # Table 2 (mutual impact)
 //	misobench -all -scale small # everything, quickly
 //	misobench -chaos            # fault-injection sweep (extension)
+//	misobench -crash            # crash-recovery sweep (durability extension)
 //	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
 package main
 
@@ -28,6 +29,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	scale := flag.String("scale", "paper", "dataset scale: paper or small")
 	chaos := flag.Bool("chaos", false, "run the fault-injection sweep (robustness extension; not part of -all)")
+	crash := flag.Bool("crash", false, "run the crash-recovery sweep (durability extension; not part of -all)")
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate applied to every experiment (0 disables)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	serveSoak := flag.Bool("serve", false, "run the concurrent-serving soak (robustness extension; not part of -all)")
@@ -60,6 +62,9 @@ func main() {
 	}
 	if *chaos {
 		targets["chaos"] = true
+	}
+	if *crash {
+		targets["crash"] = true
 	}
 	if *serveSoak {
 		targets["serve"] = true
@@ -170,6 +175,14 @@ func main() {
 	})
 	run("chaos", func() error {
 		r, err := experiments.Chaos(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("crash", func() error {
+		r, err := experiments.CrashSweep(cfg)
 		if err != nil {
 			return err
 		}

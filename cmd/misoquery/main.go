@@ -32,6 +32,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate (0 disables the fault plane)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 disables; abandoned work is charged to RECOVERY)")
+	ckptEvery := flag.Int("checkpointevery", 0, "journal design mutations and checkpoint full state every n operations (0 disables the durability plane)")
 	flag.Parse()
 
 	query := *sql
@@ -55,6 +56,7 @@ func main() {
 	sysCfg := miso.DefaultConfig(miso.Variant(*variant))
 	sysCfg.Faults = miso.UniformFaults(*faultRate)
 	sysCfg.FaultSeed = *faultSeed
+	sysCfg.CheckpointEvery = *ckptEvery
 	sys, err := miso.Open(sysCfg, dataCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -137,6 +139,10 @@ func main() {
 	}
 	fmt.Printf("opportunistic views created: %d\n", rep.NewViews)
 	fmt.Printf("%d result rows\n", rep.ResultRows)
+	if mgr := sys.Durability(); mgr != nil {
+		fmt.Printf("durability: %d WAL records (%d bytes), %d checkpoints\n",
+			mgr.WAL().Records(), mgr.WAL().LSN(), mgr.Checkpoints())
+	}
 
 	if rep.Result != nil {
 		fmt.Println()

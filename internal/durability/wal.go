@@ -1,0 +1,182 @@
+package durability
+
+import (
+	"sync"
+
+	"miso/internal/faults"
+	"miso/internal/storage"
+	"miso/internal/views"
+)
+
+// WAL is the append-only write-ahead log plus the durable view payload
+// space. Records carry the design mutations; payloads carry the view bytes
+// an admit record points at, cloned so that later mutation (or injected
+// corruption) of the durable copy never touches the live design.
+//
+// Both fault sites the WAL owns are drawn at write time, mirroring when
+// real storage breaks: SiteWALWrite tears the append (only a seeded prefix
+// of the frame lands, and the process is considered dead — Append returns
+// faults.ErrCrash), SiteViewCorrupt flips a value inside the durable
+// payload copy, to be caught by checksum verification at recovery.
+type WAL struct {
+	mu       sync.Mutex
+	buf      []byte
+	records  int
+	inj      *faults.Injector
+	payloads map[string]*views.View
+}
+
+// NewWAL creates an empty log armed with the injector (nil disables both
+// fault sites).
+func NewWAL(inj *faults.Injector) *WAL {
+	return &WAL{inj: inj, payloads: map[string]*views.View{}}
+}
+
+// Append journals one record. When SiteWALWrite fires, only a seeded
+// prefix of the frame is written — the record is lost, replay will stop at
+// the tear — and Append reports the simulated process death by returning
+// an error wrapping faults.ErrCrash.
+func (w *WAL) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	frame := rec.encode(nil)
+	if failed, frac := w.inj.Check(faults.SiteWALWrite); failed {
+		n := int(frac * float64(len(frame)))
+		if n >= len(frame) {
+			n = len(frame) - 1
+		}
+		w.buf = append(w.buf, frame[:n]...)
+		return faults.Crash(faults.SiteWALWrite)
+	}
+	w.buf = append(w.buf, frame...)
+	w.records++
+	return nil
+}
+
+// LSN returns the current end-of-log byte offset; checkpoints record it so
+// replay starts past everything the checkpoint already captured.
+func (w *WAL) LSN() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Records returns how many records were durably appended.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Tear truncates up to n bytes off the log tail, simulating a crash that
+// lost the end of the file. Used by tests and the crash harness; injected
+// tears happen organically through SiteWALWrite.
+func (w *WAL) Tear(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n <= 0 {
+		return
+	}
+	if n > len(w.buf) {
+		n = len(w.buf)
+	}
+	w.buf = w.buf[:len(w.buf)-n]
+}
+
+// Replay decodes records starting at byte offset lsn. It stops cleanly at
+// the first torn or corrupt frame — never panicking — and reports how many
+// unreadable tail bytes it discarded.
+func (w *WAL) Replay(lsn int) (recs []*Record, tornBytes int) {
+	w.mu.Lock()
+	buf := w.buf
+	w.mu.Unlock()
+	if lsn < 0 {
+		lsn = 0
+	}
+	off := lsn
+	for off < len(buf) {
+		rec, next, err := decodeFrame(buf, off)
+		if err != nil {
+			return recs, len(buf) - off
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	return recs, 0
+}
+
+// PutPayload stores the durable copy of an admitted view. The copy is
+// deep-cloned; when SiteViewCorrupt fires, one value inside the stored
+// clone is flipped (size-preserving), so the payload's recomputed checksum
+// no longer matches the admit record and recovery quarantines the view.
+func (w *WAL) PutPayload(v *views.View) {
+	c := v.Clone()
+	if failed, frac := w.inj.Check(faults.SiteViewCorrupt); failed {
+		corruptTable(c.Table, frac)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.payloads[c.Name] = c
+}
+
+// Payload fetches the durable copy of a view by name.
+func (w *WAL) Payload(name string) (*views.View, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v, ok := w.payloads[name]
+	return v, ok
+}
+
+// corruptTable flips one value in the table, chosen by frac, without
+// changing its encoded size (so byte accounting stays intact and only the
+// checksum betrays the damage). Tables with no mutable value are left
+// unchanged.
+func corruptTable(t *storage.Table, frac float64) {
+	if t == nil || len(t.Rows) == 0 {
+		return
+	}
+	nvals := 0
+	for _, r := range t.Rows {
+		nvals += len(r)
+	}
+	if nvals == 0 {
+		return
+	}
+	start := int(frac * float64(nvals))
+	if start >= nvals {
+		start = nvals - 1
+	}
+	for i := 0; i < nvals; i++ {
+		idx := (start + i) % nvals
+		row, col := locate(t, idx)
+		v := &t.Rows[row][col]
+		switch v.Kind {
+		case storage.KindInt:
+			v.I++
+			return
+		case storage.KindFloat:
+			v.F += 1
+			return
+		case storage.KindBool:
+			v.I = 1 - v.I
+			return
+		case storage.KindString:
+			if len(v.S) > 0 {
+				b := []byte(v.S)
+				b[0] ^= 0x01
+				v.S = string(b)
+				return
+			}
+		}
+	}
+}
+
+func locate(t *storage.Table, idx int) (row, col int) {
+	for r := range t.Rows {
+		if idx < len(t.Rows[r]) {
+			return r, idx
+		}
+		idx -= len(t.Rows[r])
+	}
+	return 0, 0
+}

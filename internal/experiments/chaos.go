@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"miso/internal/faults"
 	"miso/internal/multistore"
 )
 
@@ -29,6 +30,13 @@ type ChaosPoint struct {
 	BreakerTrips int
 	Timeouts     int
 	Degraded     int
+	// Recoveries / Replayed / Quarantined are the crash-plane outcomes:
+	// process crashes survived via Recover, WAL records replayed across
+	// those recoveries, and views quarantined (corrupt or stale) on the way
+	// back. Always zero in modes "seq" and "serve", which crash nothing.
+	Recoveries  int
+	Replayed    int
+	Quarantined int
 }
 
 // ChaosResult is the fault-injection experiment (robustness extension, not
@@ -115,30 +123,76 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 			Timeouts:     sr.Serve.Timeouts,
 			Degraded:     sr.Serve.Degraded,
 		})
+		// One crash-mode row per rate: the tuned system with the durability
+		// plane on, crash sites scaled with the rate, every death recovered
+		// from checkpoint + WAL and the killed query resubmitted. The rate-0
+		// row doubles as the journaling-overhead control: its TTI must equal
+		// the rate-0 seq row (journaling charges no simulated time).
+		p := chaosCrashProfile(rate)
+		mcfg, cat, err := c.crashConfig(multistore.VariantMSMiso, p, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos crash rate %.2f: %w", rate, err)
+		}
+		csys, st, err := runCrashWorkload(mcfg, cat)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos crash rate %.2f: %w", rate, err)
+		}
+		cm := csys.Metrics()
+		res.Points = append(res.Points, ChaosPoint{
+			Rate:        rate,
+			Variant:     multistore.VariantMSMiso,
+			Mode:        "crash",
+			TTI:         cm.TTI(),
+			Recovery:    cm.Recovery,
+			Retries:     cm.Retries,
+			Fallbacks:   cm.Fallbacks,
+			Completed:   len(csys.Reports()),
+			Degraded:    cm.Degraded,
+			Recoveries:  st.recoveries,
+			Replayed:    st.replayed,
+			Quarantined: st.quarantined,
+		})
 	}
 	return res, nil
+}
+
+// chaosCrashProfile arms the crash-plane sites at the sweep rate: process
+// kills in the serving, transfer and reorganization paths plus durable-copy
+// corruption at the full rate, WAL tears at a tenth of it (appends are an
+// order of magnitude more frequent than queries).
+func chaosCrashProfile(rate float64) faults.Profile {
+	return faults.Profile{}.
+		With(faults.SiteCrashServe, rate).
+		With(faults.SiteCrashTransfer, rate).
+		With(faults.SiteCrashReorg, rate).
+		With(faults.SiteViewCorrupt, rate).
+		With(faults.SiteWALWrite, rate/10)
 }
 
 // WriteText renders the sweep as a table: TTI and its recovery share per
 // failure rate, for each variant and serving mode.
 func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "Chaos sweep: uniform failure rate vs TTI (seed %d)\n", r.Seed)
-	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s\n",
-		"rate", "variant", "mode", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbk", "sheds", "trips", "degraded")
+	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s %6s %8s %6s\n",
+		"rate", "variant", "mode", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbk", "sheds", "trips", "degraded",
+		"recov", "replayed", "quarn")
 	for _, p := range r.Points {
 		pct := 0.0
 		if p.TTI > 0 {
 			pct = 100 * p.Recovery / p.TTI
 		}
-		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d\n",
+		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d %6d %8d %6d\n",
 			100*p.Rate, p.Variant, p.Mode, p.TTI, p.Recovery, pct,
-			p.Retries, p.Fallbacks, p.Sheds, p.BreakerTrips, p.Degraded)
+			p.Retries, p.Fallbacks, p.Sheds, p.BreakerTrips, p.Degraded,
+			p.Recoveries, p.Replayed, p.Quarantined)
 	}
 	n := 0
 	if len(r.Points) > 0 {
 		n = r.Points[0].Completed
 	}
 	fprintf(w, "all %d-query sequential runs completed under every rate; serve rows add\n", n)
-	fprintf(w, "admission sheds, DW breaker trips and degraded HV-only service on top of\n")
-	fprintf(w, "the retries, backoff and HV fallbacks charged by the fault plane\n")
+	fprintf(w, "admission sheds, DW breaker trips and degraded HV-only service; crash rows\n")
+	fprintf(w, "add process kills survived via checkpoint+WAL recovery (recoveries,\n")
+	fprintf(w, "replayed records, quarantined views) on top of the retries, backoff and\n")
+	fprintf(w, "HV fallbacks charged by the fault plane\n")
 }

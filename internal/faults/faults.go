@@ -42,6 +42,21 @@ const (
 	SiteDWQuery
 	// SiteReorgMove is the catalog commit of a reorganization view move.
 	SiteReorgMove
+	// SiteCrashReorg kills the process mid-reorganization, after at least
+	// one view move has been applied but before the design swap commits.
+	SiteCrashReorg
+	// SiteCrashTransfer kills the process mid-transfer, after the transfer
+	// has been journaled as begun but before the temp load commits.
+	SiteCrashTransfer
+	// SiteCrashServe kills the process while serving a query, after the
+	// plan is built but before any store executes it.
+	SiteCrashServe
+	// SiteWALWrite tears a write-ahead-log append: only a seeded prefix of
+	// the record's frame reaches the log, as if the process died mid-write.
+	SiteWALWrite
+	// SiteViewCorrupt flips bytes in a durably stored view or transferred
+	// working set, detected later by a content-checksum mismatch.
+	SiteViewCorrupt
 
 	numSites
 )
@@ -49,6 +64,8 @@ const (
 var siteNames = [numSites]string{
 	"hv-stage", "hdfs-write", "transfer-dump", "transfer-net",
 	"transfer-load", "dw-load", "dw-query", "reorg-move",
+	"crash-reorg", "crash-transfer", "crash-serve", "wal-write",
+	"view-corrupt",
 }
 
 func (s Site) String() string {
@@ -60,23 +77,64 @@ func (s Site) String() string {
 
 // Profile holds the per-site failure probabilities (0 disables a site).
 type Profile struct {
-	HVStage      float64
-	HDFSWrite    float64
-	TransferDump float64
-	TransferNet  float64
-	TransferLoad float64
-	DWLoad       float64
-	DWQuery      float64
-	ReorgMove    float64
+	HVStage       float64
+	HDFSWrite     float64
+	TransferDump  float64
+	TransferNet   float64
+	TransferLoad  float64
+	DWLoad        float64
+	DWQuery       float64
+	ReorgMove     float64
+	CrashReorg    float64
+	CrashTransfer float64
+	CrashServe    float64
+	WALWrite      float64
+	ViewCorrupt   float64
 }
 
-// Uniform returns a profile with the same rate at every site.
+// Uniform returns a profile with the same rate at every operational site.
+// Crash, WAL-tear, and corruption sites stay zero: they terminate or poison
+// the process rather than one operation, so they are only meaningful under
+// a harness that recovers (see Profile.With and the crash sweep).
 func Uniform(rate float64) Profile {
 	return Profile{
 		HVStage: rate, HDFSWrite: rate,
 		TransferDump: rate, TransferNet: rate, TransferLoad: rate,
 		DWLoad: rate, DWQuery: rate, ReorgMove: rate,
 	}
+}
+
+// With returns a copy of the profile with the given site's rate replaced.
+func (p Profile) With(s Site, rate float64) Profile {
+	switch s {
+	case SiteHVStage:
+		p.HVStage = rate
+	case SiteHDFSWrite:
+		p.HDFSWrite = rate
+	case SiteTransferDump:
+		p.TransferDump = rate
+	case SiteTransferNet:
+		p.TransferNet = rate
+	case SiteTransferLoad:
+		p.TransferLoad = rate
+	case SiteDWLoad:
+		p.DWLoad = rate
+	case SiteDWQuery:
+		p.DWQuery = rate
+	case SiteReorgMove:
+		p.ReorgMove = rate
+	case SiteCrashReorg:
+		p.CrashReorg = rate
+	case SiteCrashTransfer:
+		p.CrashTransfer = rate
+	case SiteCrashServe:
+		p.CrashServe = rate
+	case SiteWALWrite:
+		p.WALWrite = rate
+	case SiteViewCorrupt:
+		p.ViewCorrupt = rate
+	}
+	return p
 }
 
 // Rate returns the failure probability at the given site.
@@ -98,6 +156,16 @@ func (p Profile) Rate(s Site) float64 {
 		return p.DWQuery
 	case SiteReorgMove:
 		return p.ReorgMove
+	case SiteCrashReorg:
+		return p.CrashReorg
+	case SiteCrashTransfer:
+		return p.CrashTransfer
+	case SiteCrashServe:
+		return p.CrashServe
+	case SiteWALWrite:
+		return p.WALWrite
+	case SiteViewCorrupt:
+		return p.ViewCorrupt
 	default:
 		return 0
 	}
@@ -130,6 +198,27 @@ var ErrExhausted = errors.New("faults: retries exhausted")
 // Exhausted wraps the last fault of an operation that ran out of attempts.
 func Exhausted(last *Fault) error {
 	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, last.Attempt, last)
+}
+
+// ErrCrash marks a simulated process kill: the operation did not merely
+// fail, the whole system died mid-flight. Callers surface it to the crash
+// harness, which tears the WAL tail and rebuilds the system with Recover.
+var ErrCrash = errors.New("faults: simulated process crash")
+
+// Crash wraps ErrCrash with the site at which the process died. Both
+// errors.Is(err, ErrCrash) and errors.As(err, &fault) work on the chain.
+func Crash(site Site) error {
+	return fmt.Errorf("%w at %s: %w", ErrCrash, site, &Fault{Site: site, Op: "crash", Attempt: 1})
+}
+
+// ErrCorrupt marks a content-checksum mismatch on a stored view or
+// transferred working set. It is deliberately distinct from ErrExhausted so
+// the serve-layer circuit breaker (which keys on exhaustion) ignores it.
+var ErrCorrupt = errors.New("faults: content checksum mismatch")
+
+// Corrupt wraps ErrCorrupt with the name of the damaged object.
+func Corrupt(name string) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, name)
 }
 
 // RetryPolicy is the shared recovery policy: bounded attempts with capped

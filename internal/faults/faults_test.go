@@ -153,8 +153,13 @@ func TestProfileRateMapping(t *testing.T) {
 	p := Profile{
 		HVStage: 0.1, HDFSWrite: 0.2, TransferDump: 0.3, TransferNet: 0.4,
 		TransferLoad: 0.5, DWLoad: 0.6, DWQuery: 0.7, ReorgMove: 0.8,
+		CrashReorg: 0.01, CrashTransfer: 0.02, CrashServe: 0.03,
+		WALWrite: 0.04, ViewCorrupt: 0.05,
 	}
-	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.01, 0.02, 0.03, 0.04, 0.05}
+	if len(want) != int(numSites) {
+		t.Fatalf("test covers %d sites, have %d", len(want), numSites)
+	}
 	for s := Site(0); s < numSites; s++ {
 		if p.Rate(s) != want[s] {
 			t.Errorf("Rate(%s) = %v, want %v", s, p.Rate(s), want[s])
@@ -166,7 +171,20 @@ func TestProfileRateMapping(t *testing.T) {
 	if p.Zero() || !(Profile{}).Zero() {
 		t.Error("Zero() wrong")
 	}
-	if u := Uniform(0.05); u.Rate(SiteHVStage) != 0.05 || u.Rate(SiteReorgMove) != 0.05 {
+	u := Uniform(0.05)
+	if u.Rate(SiteHVStage) != 0.05 || u.Rate(SiteReorgMove) != 0.05 {
 		t.Error("Uniform wrong")
+	}
+	// Uniform must leave crash/WAL/corruption sites disabled: they need a
+	// recovery harness, and keeping them out preserves chaos comparability.
+	for _, s := range []Site{SiteCrashReorg, SiteCrashTransfer, SiteCrashServe, SiteWALWrite, SiteViewCorrupt} {
+		if u.Rate(s) != 0 {
+			t.Errorf("Uniform set crash site %s to %v", s, u.Rate(s))
+		}
+	}
+	for s := Site(0); s < numSites; s++ {
+		if got := (Profile{}).With(s, 0.5).Rate(s); got != 0.5 {
+			t.Errorf("With(%s) rate = %v", s, got)
+		}
 	}
 }

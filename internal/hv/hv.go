@@ -294,6 +294,7 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 			continue
 		}
 		v := views.New(def, tables[n], seq)
+		v.StampGenerations(s.logGeneration)
 		s.est.RecordView(v.Name, stats.Stat{
 			Rows:  int64(tables[n].NumRows()),
 			Bytes: tables[n].LogicalBytes(),
@@ -374,26 +375,20 @@ func (s *Store) CostPlan(plan *logical.Node) float64 {
 	return sec
 }
 
+// logGeneration reports the current generation of a catalog log, for
+// stamping freshly materialized views.
+func (s *Store) logGeneration(name string) (int, bool) {
+	log, err := s.cat.Log(name)
+	if err != nil {
+		return 0, false
+	}
+	return log.Generation, true
+}
+
 // EnforceBudget evicts least-recently-used views until the set fits in
 // budgetBytes. It returns the evicted views. This implements the simple LRU
 // policy used by the HV-OP and MS-LRU variants and HV temporary-space
-// trimming at reorganization time.
+// trimming at reorganization time; the ordering is views.EvictLRU's.
 func (s *Store) EnforceBudget(budgetBytes int64) []*views.View {
-	var evicted []*views.View
-	for s.Views.TotalBytes() > budgetBytes {
-		all := s.Views.All()
-		if len(all) == 0 {
-			break
-		}
-		lru := all[0]
-		for _, v := range all[1:] {
-			if v.LastUsedSeq < lru.LastUsedSeq ||
-				(v.LastUsedSeq == lru.LastUsedSeq && v.SizeBytes() > lru.SizeBytes()) {
-				lru = v
-			}
-		}
-		s.Views.Remove(lru.Name)
-		evicted = append(evicted, lru)
-	}
-	return evicted
+	return views.EvictLRU(s.Views, budgetBytes)
 }

@@ -87,6 +87,13 @@ func (s *System) runETL() error {
 		}
 		s.metrics.ETL += mv.Breakdown.Total()
 		v := views.New(node, res.Table, 0)
+		v.StampGenerations(func(name string) (int, bool) {
+			log, err := s.cat.Log(name)
+			if err != nil {
+				return 0, false
+			}
+			return log.Generation, true
+		})
 		s.dw.Views.Add(v)
 	}
 	// The ETL engine's by-products are not retained: DW-ONLY serves

@@ -16,6 +16,7 @@ import (
 
 	"miso/internal/core"
 	"miso/internal/data"
+	"miso/internal/durability"
 	"miso/internal/dw"
 	"miso/internal/faults"
 	"miso/internal/history"
@@ -73,6 +74,14 @@ type Config struct {
 	// Retry is the recovery policy for injected failures; the zero value
 	// means faults.DefaultRetry.
 	Retry faults.RetryPolicy
+
+	// CheckpointEvery enables the durability plane: every catalog/design
+	// mutation is journaled to a write-ahead log and a full-state
+	// checkpoint is taken every n completed operations (queries, updates,
+	// explicit Reorganize calls). Zero disables durability entirely —
+	// journaling charges no simulated time either way, so enabling it
+	// never changes the TTI breakdown of a fault-free run.
+	CheckpointEvery int
 }
 
 // DefaultConfig returns the paper's setup for the given variant; view
@@ -129,6 +138,10 @@ type Metrics struct {
 	// layer (DW circuit breaker open). They complete and count toward
 	// Queries; their time is charged to HVExe like any HV execution.
 	Degraded int
+	// Quarantined counts views removed from the design instead of being
+	// served: corrupt content (checksum mismatch) or a stale base-log
+	// generation. Quarantine work is charged to Recovery.
+	Quarantined int
 }
 
 // TTI returns the total time-to-insight.
@@ -216,6 +229,12 @@ type System struct {
 	offTargetDW map[string]bool
 
 	reorgLog []ReorgRecord
+
+	// dur is the durability manager (nil when CheckpointEvery is 0);
+	// jbase is the design as of the last journaled operation boundary,
+	// diffed at each boundary to emit view admit/evict records.
+	dur   *durability.Manager
+	jbase map[string]byte
 }
 
 // ReorgRecord summarizes one reorganization phase.
@@ -266,7 +285,7 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	retry := cfg.Retry.OrDefault()
 	inj := faults.NewInjector(cfg.Faults, cfg.FaultSeed) // nil for an all-zero profile
 	h.SetFaults(inj, retry)
-	return &System{
+	s := &System{
 		cfg:     cfg,
 		cat:     cat,
 		builder: logical.NewBuilder(cat),
@@ -278,6 +297,13 @@ func New(cfg Config, cat *storage.Catalog) *System {
 		inj:     inj,
 		retry:   retry,
 	}
+	if cfg.CheckpointEvery > 0 {
+		s.dur = durability.NewManager(cfg.CheckpointEvery, durability.NewWAL(inj))
+		// Boot checkpoint: recovery always has a base state to replay over.
+		s.dur.Checkpoint(0, s.snapshotLocked())
+		s.jbase = s.designMap()
+	}
+	return s
 }
 
 // NewDefault builds a system with the default paper-scale dataset.
@@ -404,11 +430,16 @@ func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, erro
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
+	s.beginOp()
+	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
 	if err != nil {
 		return nil, err
 	}
 	entry := history.Entry{Seq: s.seq, SQL: sql, Plan: plan}
+	if failed, _ := s.inj.Check(faults.SiteCrashServe); failed {
+		return nil, fmt.Errorf("multistore: query %d: %w", entry.Seq, faults.Crash(faults.SiteCrashServe))
+	}
 
 	rep, err := s.runVariant(ctx, entry)
 	if err != nil {
@@ -418,6 +449,11 @@ func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, erro
 	s.seq++
 	s.metrics.Queries++
 	s.reports = append(s.reports, rep)
+	if err := s.endOp(queryDoneRecord(rep)); err != nil {
+		// The WAL append tore: the process is considered dead and the
+		// query's completion never became durable.
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -435,11 +471,16 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
+	s.beginOp()
+	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
 	if err != nil {
 		return nil, err
 	}
 	entry := history.Entry{Seq: s.seq, SQL: sql, Plan: plan}
+	if failed, _ := s.inj.Check(faults.SiteCrashServe); failed {
+		return nil, fmt.Errorf("multistore: query %d: %w", entry.Seq, faults.Crash(faults.SiteCrashServe))
+	}
 	rewritten := optimizer.RewriteWithViews(plan, s.hv.Views)
 	res, err := s.hv.ExecuteContext(ctx, rewritten, entry.Seq)
 	if err != nil {
@@ -468,6 +509,9 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	s.seq++
 	s.metrics.Queries++
 	s.reports = append(s.reports, rep)
+	if err := s.endOp(queryDoneRecord(rep)); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -605,14 +649,20 @@ func (s *System) reorgDue() bool {
 func (s *System) Reorganize() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginOp()
+	var err error
 	switch s.cfg.Variant {
 	case VariantMSMiso:
-		return s.reorg(s.window)
+		err = s.reorg(s.window)
 	case VariantMSOra:
-		return s.reorg(s.oracleWindow())
+		err = s.reorg(s.oracleWindow())
 	default:
 		return nil
 	}
+	if err != nil {
+		return err
+	}
+	return s.endOp(nil)
 }
 
 // oracleWindow builds the MS-ORA tuning window from the actual upcoming

@@ -1,0 +1,351 @@
+package multistore_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/faults"
+	"miso/internal/multistore"
+	"miso/internal/serve"
+	"miso/internal/workload"
+)
+
+// newDurableSystem boots a small MS-MISO system with the durability plane on.
+func newDurableSystem(t *testing.T, p faults.Profile, seed int64, every int) (*multistore.System, multistore.Config) {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.Faults = p
+	cfg.FaultSeed = seed
+	cfg.CheckpointEvery = every
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	return sys, cfg
+}
+
+// designNames flattens both stores' view names, sorted.
+func designNames(sys *multistore.System) []string {
+	var names []string
+	for _, v := range sys.HV().Views.All() {
+		names = append(names, "H:"+v.Name)
+	}
+	for _, v := range sys.DW().Views.All() {
+		names = append(names, "D:"+v.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recoverFrom kills sys and rebuilds it from its last checkpoint and WAL,
+// perturbing the seed per attempt like the crash harness does.
+func recoverFrom(t *testing.T, cfg multistore.Config, sys *multistore.System, attempt int) (*multistore.System, *struct {
+	replayed, quarantined, rolledBackReorgs, rolledBackTransfers int
+	torn                                                         int
+}) {
+	t.Helper()
+	mgr := sys.Durability()
+	if mgr == nil {
+		t.Fatal("durability disabled")
+	}
+	rcfg := cfg
+	rcfg.FaultSeed = cfg.FaultSeed + int64(attempt)
+	rec, rep, err := multistore.Recover(rcfg, sys.Catalog(), mgr.Latest(), mgr.WAL())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatalf("recovered system violates invariants: %v", err)
+	}
+	out := &struct {
+		replayed, quarantined, rolledBackReorgs, rolledBackTransfers int
+		torn                                                         int
+	}{rep.ReplayedRecords, len(rep.Quarantined), rep.RolledBackReorgs, rep.RolledBackTransfers, rep.TornBytes}
+	return rec, out
+}
+
+// runToCompletion drives the workload prefix through the kill/recover loop
+// and returns the final system plus the crash count.
+func runToCompletion(t *testing.T, cfg multistore.Config, sys *multistore.System, queries []string) (*multistore.System, int) {
+	t.Helper()
+	crashes := 0
+	for i := 0; i < len(queries); {
+		_, err := sys.Run(queries[i])
+		if err == nil {
+			i = len(sys.Reports())
+			continue
+		}
+		if !errors.Is(err, faults.ErrCrash) {
+			t.Fatalf("query %d failed with a non-crash error: %v", i, err)
+		}
+		crashes++
+		if crashes > 64 {
+			t.Fatalf("crash loop: %d deaths over %d queries", crashes, len(queries))
+		}
+		sys, _ = recoverFrom(t, cfg, sys, crashes)
+		// Committed work survives: the recovered system never loses a
+		// completed query.
+		if got := len(sys.Reports()); got > i {
+			t.Fatalf("recovery invented %d completed queries, had %d", got, i)
+		}
+		i = len(sys.Reports())
+	}
+	return sys, crashes
+}
+
+// TestRecoverPerCrashSite is the per-site crash regression: each armed site
+// must kill the process at least once, and the kill/recover/resubmit loop
+// must complete the workload prefix with invariants intact throughout.
+func TestRecoverPerCrashSite(t *testing.T) {
+	cases := []struct {
+		name string
+		p    faults.Profile
+		seed int64
+	}{
+		{"crash-serve", faults.Profile{}.With(faults.SiteCrashServe, 0.25), 3},
+		{"crash-transfer", faults.Profile{}.With(faults.SiteCrashTransfer, 0.20), 5},
+		// 0.5, not 1.0: an always-crashing reorg can never commit, so the
+		// loop would re-crash at the same decision point forever.
+		{"crash-reorg", faults.Profile{}.With(faults.SiteCrashReorg, 0.5), 7},
+		{"wal-write", faults.Profile{}.With(faults.SiteWALWrite, 0.02), 11},
+	}
+	sqls := workload.SQLs()[:12]
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, cfg := newDurableSystem(t, tc.p, tc.seed, 3)
+			sys, crashes := runToCompletion(t, cfg, sys, sqls)
+			if crashes == 0 {
+				t.Fatalf("site never fired; the regression tested nothing")
+			}
+			if got := len(sys.Reports()); got != len(sqls) {
+				t.Fatalf("completed %d of %d queries", got, len(sqls))
+			}
+			for i, rep := range sys.Reports() {
+				if rep.Seq != i {
+					t.Fatalf("report %d has seq %d: replay reordered the workload", i, rep.Seq)
+				}
+			}
+			// Every surviving view must pass its content checksum.
+			for _, v := range append(sys.HV().Views.All(), sys.DW().Views.All()...) {
+				if !v.Verify() {
+					t.Errorf("view %s fails verification after recovery", v.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverRollsBackUncommittedReorg arms the reorg crash site at 100%:
+// the first reorganization dies after its moves but before its commit
+// record, and recovery must discard it entirely.
+func TestRecoverRollsBackUncommittedReorg(t *testing.T) {
+	sys, cfg := newDurableSystem(t, faults.Profile{}.With(faults.SiteCrashReorg, 1.0), 7, 100)
+	var crashErr error
+	for _, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			crashErr = err
+			break
+		}
+	}
+	if crashErr == nil {
+		t.Skip("workload never triggered a reorganization at this scale")
+	}
+	if !errors.Is(crashErr, faults.ErrCrash) {
+		t.Fatalf("reorg failed with a non-crash error: %v", crashErr)
+	}
+	rec, rep := recoverFrom(t, cfg, sys, 1)
+	if rep.rolledBackReorgs != 1 {
+		t.Errorf("rolled back %d reorgs, want 1", rep.rolledBackReorgs)
+	}
+	if got := len(rec.ReorgLog()); got != 0 {
+		t.Errorf("uncommitted reorganization survived into the recovered log (%d entries)", got)
+	}
+	if rec.Metrics().Reorgs != 0 {
+		t.Errorf("uncommitted reorganization counted in metrics")
+	}
+}
+
+// TestRecoverQuarantinesCorruptPayloads corrupts every durable view copy:
+// replayed admits must be quarantined, never installed, and the recovered
+// system must still serve queries.
+func TestRecoverQuarantinesCorruptPayloads(t *testing.T) {
+	// Boot checkpoint only (cadence 100): recovery replays every admit from
+	// the WAL's corrupted payload space.
+	sys, cfg := newDurableSystem(t, faults.Profile{}.With(faults.SiteViewCorrupt, 1.0), 9, 100)
+	sqls := workload.SQLs()[:6]
+	for i, sql := range sqls {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if sys.HV().Views.Len()+sys.DW().Views.Len() == 0 {
+		t.Fatal("workload prefix admitted no views; nothing to corrupt")
+	}
+	rec, rep := recoverFrom(t, cfg, sys, 1)
+	if rep.quarantined == 0 {
+		t.Fatal("no corrupted payloads quarantined")
+	}
+	// Only views with nothing to flip (empty materializations) may survive;
+	// every survivor must still pass verification.
+	for _, v := range append(rec.HV().Views.All(), rec.DW().Views.All()...) {
+		if !v.Verify() {
+			t.Errorf("corrupt view %s rejoined the design", v.Name)
+		}
+		if v.Table != nil && v.Table.NumRows() > 0 {
+			t.Errorf("non-empty view %s escaped corruption", v.Name)
+		}
+	}
+	if rec.Metrics().Quarantined != rep.quarantined {
+		t.Errorf("quarantine count not charged to metrics: %d vs %d",
+			rec.Metrics().Quarantined, rep.quarantined)
+	}
+	if rec.Metrics().Recovery <= sys.Metrics().Recovery {
+		t.Error("recovery work not charged to RECOVERY TTI")
+	}
+	if _, err := rec.Run(sqls[len(sqls)-1]); err != nil {
+		t.Fatalf("recovered system cannot serve: %v", err)
+	}
+}
+
+// TestRecoverTornTail tears arbitrary suffixes off a live WAL: recovery
+// must come back clean from every cut, never panicking and never violating
+// invariants.
+func TestRecoverTornTail(t *testing.T) {
+	sys, cfg := newDurableSystem(t, faults.Profile{}, 1, 2)
+	sqls := workload.SQLs()[:8]
+	for i, sql := range sqls {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	wal := sys.Durability().WAL()
+	total := wal.LSN()
+	for _, tear := range []int{1, 7, 64, 333, total / 2, total} {
+		wal.Tear(tear)
+		rec, _ := recoverFrom(t, cfg, sys, tear)
+		if got := len(rec.Reports()); got > len(sqls) {
+			t.Fatalf("tear %d: recovery invented queries (%d)", tear, got)
+		}
+	}
+}
+
+// TestCleanShutdownByteIdentity checkpoints a live system and recovers a
+// twin from it: with nothing to replay, every digest-covered field must be
+// byte-identical.
+func TestCleanShutdownByteIdentity(t *testing.T) {
+	sys, cfg := newDurableSystem(t, faults.Profile{}, 1, 4)
+	for i, sql := range workload.SQLs()[:8] {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	ckpt := sys.Checkpoint()
+	twin, rep, err := multistore.Recover(cfg, sys.Catalog(), ckpt, sys.Durability().WAL())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.ReplayedRecords != 0 || rep.TornBytes != 0 {
+		t.Fatalf("clean shutdown replayed %d records, tore %d bytes", rep.ReplayedRecords, rep.TornBytes)
+	}
+	if rep.Seconds != 0 {
+		t.Errorf("clean-shutdown recovery charged %.3fs", rep.Seconds)
+	}
+	if got, want := twin.StateDigest(), sys.StateDigest(); got != want {
+		t.Fatalf("clean-shutdown digest %016x != live %016x", got, want)
+	}
+	if !sameNames(designNames(twin), designNames(sys)) {
+		t.Error("clean-shutdown design differs from live design")
+	}
+	// The twin is live: it can keep serving where the original stopped.
+	if _, err := twin.Run(workload.SQLs()[8]); err != nil {
+		t.Fatalf("recovered twin cannot continue the workload: %v", err)
+	}
+}
+
+// TestDurabilityZeroOverhead runs the same workload prefix with the
+// durability plane on and off: journaling must charge no simulated time and
+// perturb no metric.
+func TestDurabilityZeroOverhead(t *testing.T) {
+	run := func(every int) multistore.Metrics {
+		cat, err := data.Generate(data.SmallConfig())
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+		cfg.SetBudgets(cat, 2.0, 10<<30)
+		cfg.CheckpointEvery = every
+		sys := multistore.New(cfg, cat)
+		for i, sql := range workload.SQLs()[:10] {
+			if _, err := sys.Run(sql); err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+		}
+		return sys.Metrics()
+	}
+	if on, off := run(4), run(0); on != off {
+		t.Fatalf("durability perturbed the run:\n on  %+v\n off %+v", on, off)
+	}
+}
+
+// TestServeResumesOnRecoveredSystem recovers a crashed system and puts the
+// concurrent serving frontend on top of it.
+func TestServeResumesOnRecoveredSystem(t *testing.T) {
+	sys, cfg := newDurableSystem(t, faults.Profile{}.With(faults.SiteCrashServe, 0.25), 3, 3)
+	var crashed bool
+	for _, sql := range workload.SQLs()[:12] {
+		if _, err := sys.Run(sql); err != nil {
+			if !errors.Is(err, faults.ErrCrash) {
+				t.Fatalf("non-crash error: %v", err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("crash site never fired")
+	}
+	rec, _ := recoverFrom(t, cfg, sys, 1)
+	srv := serve.NewServer(serve.Config{Workers: 2}, rec)
+	defer srv.Close()
+	done := len(rec.Reports())
+	for _, sql := range workload.SQLs()[done : done+3] {
+		rep, err := srv.Do(context.Background(), sql)
+		if err != nil && !errors.Is(err, faults.ErrCrash) {
+			t.Fatalf("serve on recovered system: %v", err)
+		}
+		if err == nil && rep.Result == nil {
+			t.Fatal("served query returned no result")
+		}
+		if errors.Is(err, faults.ErrCrash) {
+			// The site is still armed; one more recovery keeps serving.
+			rec, _ = recoverFrom(t, cfg, rec, 2)
+			srv.Close()
+			srv = serve.NewServer(serve.Config{Workers: 2}, rec)
+		}
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after serving: %v", err)
+	}
+}

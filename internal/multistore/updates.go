@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"miso/internal/durability"
 	"miso/internal/logical"
 )
 
@@ -18,7 +19,12 @@ import (
 func (s *System) AppendToLog(name string, lines []string) (dropped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(name, lines)
+	s.beginOp()
+	dropped, err = s.appendLocked(name, lines)
+	if err != nil {
+		return dropped, err
+	}
+	return dropped, s.endOp(nil)
 }
 
 func (s *System) appendLocked(name string, lines []string) (dropped int, err error) {
@@ -65,6 +71,7 @@ func (s *System) appendLocked(name string, lines []string) (dropped int, err err
 func (s *System) RefreshLog(name string, lines []string) (dropped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginOp()
 	log, err := s.cat.Log(name)
 	if err != nil {
 		return 0, err
@@ -74,5 +81,8 @@ func (s *System) RefreshLog(name string, lines []string) (dropped int, err error
 	if err != nil {
 		return dropped, fmt.Errorf("multistore: refresh %q: %w", name, err)
 	}
-	return dropped, nil
+	return dropped, s.endOp(&durability.Record{
+		Kind: durability.KindLogGen, Name: name,
+		Seq: int64(s.seq), Gen: int64(log.Generation),
+	})
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 
 	"miso/internal/core"
+	"miso/internal/durability"
 	"miso/internal/faults"
 	"miso/internal/history"
 	"miso/internal/logical"
 	"miso/internal/optimizer"
+	"miso/internal/storage"
 	"miso/internal/transfer"
 	"miso/internal/views"
 )
@@ -165,18 +167,52 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 			return nil, s.abandon(ctx, rep, e.Seq)
 		}
 		bytes := res.Table.LogicalBytes()
+		sum := storage.ChecksumTable(res.Table)
+		if err := s.journal(&durability.Record{
+			Kind: durability.KindTransferBegin, Name: cut.TempName,
+			Seq: int64(e.Seq), Bytes: bytes, Checksum: sum,
+		}); err != nil {
+			return nil, err
+		}
+		if failed, _ := s.inj.Check(faults.SiteCrashTransfer); failed {
+			return nil, fmt.Errorf("multistore: query %d transfer: %w", e.Seq, faults.Crash(faults.SiteCrashTransfer))
+		}
 		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
 		rep.Retries += mv.Retries
 		if mvErr != nil {
 			// The move aborted: everything it paid is wasted. Degrade
 			// gracefully by completing the query entirely in HV.
 			rep.RecoverySeconds += mv.WastedSeconds()
+			if err := s.journal(&durability.Record{
+				Kind: durability.KindTransferAbort, Name: cut.TempName, Seq: int64(e.Seq),
+			}); err != nil {
+				return nil, err
+			}
 			return s.fallbackHV(ctx, e, rep, mvErr)
+		}
+		// Load-time integrity check: the working set's checksum is
+		// verified as DW stages it. Injected corruption means the bytes
+		// were damaged in flight — the whole move is wasted and the query
+		// degrades to HV (the cause is ErrCorrupt, not exhaustion, so the
+		// serving layer's circuit breaker ignores it).
+		if failed, _ := s.inj.Check(faults.SiteViewCorrupt); failed {
+			rep.RecoverySeconds += mv.Breakdown.Total() + mv.RecoverySeconds
+			if err := s.journal(&durability.Record{
+				Kind: durability.KindTransferAbort, Name: cut.TempName, Seq: int64(e.Seq),
+			}); err != nil {
+				return nil, err
+			}
+			return s.fallbackHV(ctx, e, rep, faults.Corrupt(cut.TempName))
 		}
 		rep.RecoverySeconds += mv.RecoverySeconds
 		rep.TransferBytes += bytes
 		rep.TransferSeconds += mv.Breakdown.Total()
 		s.dw.StageTemp(cut.TempName, res.Table)
+		if err := s.journal(&durability.Record{
+			Kind: durability.KindTransferCommit, Name: cut.TempName, Seq: int64(e.Seq),
+		}); err != nil {
+			return nil, err
+		}
 	}
 	rep.BypassedHV = bypassed
 
@@ -324,11 +360,44 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 			return nil, s.abandon(ctx, rep, e.Seq)
 		}
 		bytes := res.Table.LogicalBytes()
+		sum := storage.ChecksumTable(res.Table)
+		if err := s.journal(&durability.Record{
+			Kind: durability.KindTransferBegin, Name: cut.TempName,
+			Seq: int64(e.Seq), Bytes: bytes, Checksum: sum,
+		}); err != nil {
+			return nil, err
+		}
+		if failed, _ := s.inj.Check(faults.SiteCrashTransfer); failed {
+			return nil, fmt.Errorf("multistore: query %d transfer: %w", e.Seq, faults.Crash(faults.SiteCrashTransfer))
+		}
 		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
 		rep.Retries += mv.Retries
 		if mvErr != nil {
 			rep.RecoverySeconds += mv.WastedSeconds()
+			if err := s.journal(&durability.Record{
+				Kind: durability.KindTransferAbort, Name: cut.TempName, Seq: int64(e.Seq),
+			}); err != nil {
+				return nil, err
+			}
 			rep, err := s.fallbackHV(ctx, e, rep, mvErr)
+			if err != nil {
+				return nil, err
+			}
+			views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
+			s.hv.Views = freshSet()
+			return rep, nil
+		}
+		if failed, _ := s.inj.Check(faults.SiteViewCorrupt); failed {
+			// The staged working set failed its load-time checksum: the
+			// move is wasted, and the damaged bytes must not be retained
+			// as a cached DW view either.
+			rep.RecoverySeconds += mv.Breakdown.Total() + mv.RecoverySeconds
+			if err := s.journal(&durability.Record{
+				Kind: durability.KindTransferAbort, Name: cut.TempName, Seq: int64(e.Seq),
+			}); err != nil {
+				return nil, err
+			}
+			rep, err := s.fallbackHV(ctx, e, rep, faults.Corrupt(cut.TempName))
 			if err != nil {
 				return nil, err
 			}
@@ -340,12 +409,24 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		rep.TransferBytes += bytes
 		rep.TransferSeconds += mv.Breakdown.Total()
 		s.dw.StageTemp(cut.TempName, res.Table)
+		if err := s.journal(&durability.Record{
+			Kind: durability.KindTransferCommit, Name: cut.TempName, Seq: int64(e.Seq),
+		}); err != nil {
+			return nil, err
+		}
 
 		// Passive retention: the transferred working set becomes a DW
 		// view keyed by its base-data definition.
 		def := s.hv.ExpandViews(cut.Node)
 		if def != nil {
 			v := views.New(def, res.Table, e.Seq)
+			v.StampGenerations(func(name string) (int, bool) {
+				log, err := s.cat.Log(name)
+				if err != nil {
+					return 0, false
+				}
+				return log.Generation, true
+			})
 			if !s.dw.Views.Has(v.Name) {
 				s.dw.Views.Add(v)
 			}
@@ -395,6 +476,9 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 // consumption is refunded, and Vh ∩ Vd = ∅ holds no matter which moves
 // fail. Time lost to failed moves is charged to RECOVERY, not TUNE.
 func (s *System) reorg(w *history.Window) error {
+	if err := s.journal(&durability.Record{Kind: durability.KindReorgBegin, Seq: int64(s.seq)}); err != nil {
+		return err
+	}
 	tuner := core.NewTuner(s.cfg.Tuner, s.opt)
 	r, err := tuner.Tune(s.design(), w)
 	if err != nil {
@@ -461,13 +545,51 @@ func (s *System) reorg(w *history.Window) error {
 		apply(v, transfer.KindToHV, r.NewHV, r.NewDW, s.cfg.Tuner.Bd)
 	}
 
+	// Crash site: the moves above mutated only the candidate sets; dying
+	// here leaves an open reorg window in the WAL (begin, no commit) and
+	// the live design untouched, so recovery rolls the whole phase back.
+	if failed, _ := s.inj.Check(faults.SiteCrashReorg); failed {
+		return fmt.Errorf("multistore: reorg before query %d: %w", s.seq, faults.Crash(faults.SiteCrashReorg))
+	}
+
 	s.metrics.Tune += rec.Seconds
 	s.metrics.Recovery += rec.RecoverySeconds
 	s.hv.Views = r.NewHV
 	s.dw.Views = r.NewDW
 	s.metrics.Reorgs++
 	s.reorgLog = append(s.reorgLog, rec)
+
+	// Commit the reorg transaction: the design diff lands inside the
+	// begin..commit window, so recovery applies it atomically — all of it
+	// when the commit record is durable, none of it otherwise.
+	if s.dur != nil {
+		if err := s.journalDesignDiff(); err != nil {
+			return err
+		}
+		if err := s.journal(&durability.Record{
+			Kind:            durability.KindReorgCommit,
+			Seq:             int64(rec.BeforeSeq),
+			Bytes:           rec.Bytes,
+			MovedToDW:       int64(rec.MovedToDW),
+			MovedToHV:       int64(rec.MovedToHV),
+			Dropped:         int64(rec.Dropped),
+			FailedMoves:     int64(rec.FailedMoves),
+			RefundedBytes:   rec.RefundedBytes,
+			Seconds:         rec.Seconds,
+			RecoverySeconds: rec.RecoverySeconds,
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// journal appends one record to the WAL when durability is enabled.
+func (s *System) journal(rec *durability.Record) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.WAL().Append(rec)
 }
 
 // offlineTune (MS-OFF) models what a current offline design tool can do:

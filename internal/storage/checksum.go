@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// ChecksumTable computes an FNV-64a content checksum over a table's schema
+// and rows, in row order. It is the integrity fingerprint stamped on every
+// materialized view and transferred working set: recomputing it at load or
+// match time and comparing against the stamped value detects bit rot and
+// torn writes. Row order is part of the content — tables are write-once, so
+// a reordered copy is a different artifact.
+func ChecksumTable(t *Table) uint64 {
+	h := fnv.New64a()
+	if t == nil {
+		return h.Sum64()
+	}
+	h.Write([]byte(t.Name))
+	h.Write([]byte{0})
+	if t.Schema != nil {
+		for _, col := range t.Schema.Columns {
+			h.Write([]byte(col.Name))
+			h.Write([]byte{byte(col.Type), 0})
+		}
+	}
+	h.Write([]byte{0xff})
+	for _, r := range t.Rows {
+		for _, v := range r {
+			writeChecksumValue(h, v)
+		}
+		h.Write([]byte{0xfe})
+	}
+	return h.Sum64()
+}
+
+func writeChecksumValue(h interface{ Write([]byte) (int, error) }, v Value) {
+	h.Write([]byte{byte(v.Kind)})
+	switch v.Kind {
+	case KindInt, KindBool:
+		writeUint64(h, uint64(v.I))
+	case KindFloat:
+		writeUint64(h, math.Float64bits(v.F))
+	case KindString:
+		h.Write([]byte(v.S))
+		h.Write([]byte{0})
+	}
+}

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogResetBumpsGeneration(t *testing.T) {
+	l := NewLogFile("tweets", nil)
+	l.AppendLine(`{"a":1}`)
+	l.AppendLine(`{"a":2}`)
+	if l.Generation != 0 {
+		t.Fatalf("fresh log generation = %d", l.Generation)
+	}
+	l.Reset()
+	if l.Generation != 1 || l.NumLines() != 0 || l.RawBytes() != 0 {
+		t.Fatalf("after reset: gen=%d lines=%d bytes=%d", l.Generation, l.NumLines(), l.RawBytes())
+	}
+	l.AppendLine(`{"a":3}`)
+	l.Reset()
+	if l.Generation != 2 {
+		t.Fatalf("second reset: gen=%d, want 2", l.Generation)
+	}
+	// Appending never bumps the generation: only wholesale replacement does.
+	l.AppendLine(`{"a":4}`)
+	if l.Generation != 2 {
+		t.Error("append bumped the generation")
+	}
+}
+
+func checksumFixture(t *testing.T) *Table {
+	t.Helper()
+	sch, err := NewSchema(
+		Column{Name: "id", Type: KindInt},
+		Column{Name: "score", Type: KindFloat},
+		Column{Name: "tag", Type: KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("fixture", sch)
+	tbl.MustAppend(Row{IntValue(1), FloatValue(0.5), StringValue("alpha")})
+	tbl.MustAppend(Row{IntValue(2), FloatValue(1.5), StringValue("beta")})
+	return tbl
+}
+
+func TestChecksumTableDetectsEveryFieldFlip(t *testing.T) {
+	base := ChecksumTable(checksumFixture(t))
+	if base != ChecksumTable(checksumFixture(t)) {
+		t.Fatal("checksum not deterministic")
+	}
+	mutations := []func(*Table){
+		func(tb *Table) { tb.Rows[0][0].I++ },
+		func(tb *Table) { tb.Rows[1][1].F += 1 },
+		func(tb *Table) { tb.Rows[0][2].S = "alphb" },
+		func(tb *Table) { tb.Name = "other" },
+		func(tb *Table) { tb.Rows[0], tb.Rows[1] = tb.Rows[1], tb.Rows[0] }, // order is content
+	}
+	for i, mutate := range mutations {
+		tb := checksumFixture(t)
+		mutate(tb)
+		if ChecksumTable(tb) == base {
+			t.Errorf("mutation %d invisible to checksum", i)
+		}
+	}
+	if ChecksumTable(nil) != ChecksumTable(nil) {
+		t.Error("nil checksum not stable")
+	}
+	if ChecksumTable(nil) == base {
+		t.Error("nil table collides with fixture")
+	}
+}
+
+func TestChecksumSeparatorsPreventSmearing(t *testing.T) {
+	// "ab"+"c" and "a"+"bc" across adjacent string cells must differ.
+	sch, err := NewSchema(
+		Column{Name: "x", Type: KindString},
+		Column{Name: "y", Type: KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(a, b string) *Table {
+		tb := NewTable("t", sch)
+		tb.MustAppend(Row{StringValue(a), StringValue(b)})
+		return tb
+	}
+	if ChecksumTable(mk("ab", "c")) == ChecksumTable(mk("a", "bc")) {
+		t.Error("cell boundary smearing")
+	}
+	long := strings.Repeat("z", 100)
+	if ChecksumTable(mk(long, "")) == ChecksumTable(mk("", long)) {
+		t.Error("column position smearing")
+	}
+}

@@ -14,6 +14,11 @@ type LogFile struct {
 	FieldTypes  *Schema
 	ScaleFactor float64
 
+	// Generation counts how many times the log has been reset. A view
+	// materialized from generation g is stale — and must be quarantined,
+	// never silently served — once the log advances past g.
+	Generation int
+
 	bytes int64
 }
 
@@ -28,10 +33,12 @@ func (l *LogFile) AppendLine(line string) {
 	l.bytes += int64(len(line)) + 1 // +1 for the newline
 }
 
-// Reset drops all records (a new generation of the log replaces the old).
+// Reset drops all records (a new generation of the log replaces the old)
+// and bumps the generation counter that stale-view quarantine keys on.
 func (l *LogFile) Reset() {
 	l.Lines = nil
 	l.bytes = 0
+	l.Generation++
 }
 
 // NumLines returns the record count.

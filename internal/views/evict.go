@@ -1,25 +1,42 @@
 package views
 
+import "sort"
+
 // EvictLRU removes least-recently-used views from the set until its total
 // size fits budgetBytes, returning the evicted views. Ties prefer evicting
-// the larger view. This is the passive policy of the HV-OP and MS-LRU
-// system variants.
+// the larger view; full ties (same LastUsedSeq and size) break by name, so
+// the eviction order is fully deterministic. This is the passive policy of
+// the HV-OP and MS-LRU system variants.
+//
+// The set is scanned once and sorted into eviction order, rather than
+// rescanned per eviction: evicting k of n views costs O(n log n), not
+// O(k·n). Removing a view never changes any other view's rank, so the
+// single sorted pass evicts exactly the sequence the per-eviction rescan
+// would have.
 func EvictLRU(s *Set, budgetBytes int64) []*View {
+	total := s.TotalBytes()
+	if total <= budgetBytes {
+		return nil
+	}
+	all := s.All()
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.LastUsedSeq != b.LastUsedSeq {
+			return a.LastUsedSeq < b.LastUsedSeq
+		}
+		if sa, sb := a.SizeBytes(), b.SizeBytes(); sa != sb {
+			return sa > sb
+		}
+		return a.Name < b.Name
+	})
 	var evicted []*View
-	for s.TotalBytes() > budgetBytes {
-		all := s.All()
-		if len(all) == 0 {
+	for _, v := range all {
+		if total <= budgetBytes {
 			break
 		}
-		lru := all[0]
-		for _, v := range all[1:] {
-			if v.LastUsedSeq < lru.LastUsedSeq ||
-				(v.LastUsedSeq == lru.LastUsedSeq && v.SizeBytes() > lru.SizeBytes()) {
-				lru = v
-			}
-		}
-		s.Remove(lru.Name)
-		evicted = append(evicted, lru)
+		s.Remove(v.Name)
+		total -= v.SizeBytes()
+		evicted = append(evicted, v)
 	}
 	return evicted
 }

@@ -1,0 +1,138 @@
+package views_test
+
+import (
+	"strings"
+	"testing"
+
+	"miso/internal/storage"
+	"miso/internal/views"
+)
+
+// sizedView builds a bare view whose size and recency are fully controlled:
+// one string row padded to the requested byte count.
+func sizedView(t *testing.T, name string, size int64, lastUsed int) *views.View {
+	t.Helper()
+	sch, err := storage.NewSchema(storage.Column{Name: "pad", Type: storage.KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable(name, sch)
+	tbl.MustAppend(storage.Row{storage.StringValue(strings.Repeat("x", int(size)))})
+	return &views.View{
+		Name:        name,
+		Table:       tbl,
+		LastUsedSeq: lastUsed,
+		Checksum:    storage.ChecksumTable(tbl),
+	}
+}
+
+// naiveEvictLRU is the reference policy the optimized single-scan version
+// must reproduce: rescan the whole set per eviction, always removing the
+// least-recently-used view, preferring the larger on a recency tie and the
+// lexicographically first name on a full tie.
+func naiveEvictLRU(s *views.Set, budgetBytes int64) []*views.View {
+	var evicted []*views.View
+	for s.TotalBytes() > budgetBytes {
+		var worst *views.View
+		for _, v := range s.All() {
+			switch {
+			case worst == nil:
+				worst = v
+			case v.LastUsedSeq != worst.LastUsedSeq:
+				if v.LastUsedSeq < worst.LastUsedSeq {
+					worst = v
+				}
+			case v.SizeBytes() != worst.SizeBytes():
+				if v.SizeBytes() > worst.SizeBytes() {
+					worst = v
+				}
+			case v.Name < worst.Name:
+				worst = v
+			}
+		}
+		if worst == nil {
+			break
+		}
+		s.Remove(worst.Name)
+		evicted = append(evicted, worst)
+	}
+	return evicted
+}
+
+// evictFixture builds a set with deliberate recency and size ties.
+func evictFixture(t *testing.T) *views.Set {
+	t.Helper()
+	s := views.NewSet()
+	specs := []struct {
+		name     string
+		size     int64
+		lastUsed int
+	}{
+		{"v_f", 100, 5},
+		{"v_a", 300, 1}, // oldest, larger: evicted first
+		{"v_b", 100, 1}, // oldest, smaller
+		{"v_d", 200, 3}, // recency+size tie with v_c: name breaks it
+		{"v_c", 200, 3},
+		{"v_e", 50, 3},
+		{"v_g", 400, 9}, // most recent, largest: evicted last
+	}
+	for _, sp := range specs {
+		s.Add(sizedView(t, sp.name, sp.size, sp.lastUsed))
+	}
+	return s
+}
+
+func TestEvictLRUDeterministicOrder(t *testing.T) {
+	s := evictFixture(t)
+	evicted := views.EvictLRU(s, 0)
+	var got []string
+	for _, v := range evicted {
+		got = append(got, v.Name)
+	}
+	want := []string{"v_a", "v_b", "v_c", "v_d", "v_e", "v_f", "v_g"}
+	if len(got) != len(want) {
+		t.Fatalf("evicted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eviction order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEvictLRUMatchesNaivePolicy sweeps every budget level: the single-scan
+// implementation must evict exactly the views, in exactly the order, of the
+// per-eviction rescan it replaced.
+func TestEvictLRUMatchesNaivePolicy(t *testing.T) {
+	total := evictFixture(t).TotalBytes()
+	for budget := int64(0); budget <= total+10; budget += 25 {
+		fast, slow := evictFixture(t), evictFixture(t)
+		got := views.EvictLRU(fast, budget)
+		want := naiveEvictLRU(slow, budget)
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: evicted %d views, reference evicted %d", budget, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name {
+				t.Fatalf("budget %d: eviction %d = %s, reference %s", budget, i, got[i].Name, want[i].Name)
+			}
+		}
+		if fast.TotalBytes() > budget {
+			t.Fatalf("budget %d: set still over budget at %d bytes", budget, fast.TotalBytes())
+		}
+		if fast.Len() != slow.Len() {
+			t.Fatalf("budget %d: survivor counts differ", budget)
+		}
+	}
+}
+
+func TestEvictLRUUnderBudgetIsNoop(t *testing.T) {
+	s := evictFixture(t)
+	n := s.Len()
+	if evicted := views.EvictLRU(s, s.TotalBytes()); evicted != nil {
+		t.Fatalf("under-budget eviction removed %d views", len(evicted))
+	}
+	if s.Len() != n {
+		t.Error("under-budget eviction mutated the set")
+	}
+}

@@ -40,6 +40,14 @@ type View struct {
 	// bytes answer only the identical subexpression, not a subsuming
 	// rewrite.
 	ExactOnly bool
+	// Checksum is the FNV-64a content fingerprint of Table, stamped at
+	// materialization. Verify recomputes it to detect corruption before
+	// the view is matched or restored from a checkpoint.
+	Checksum uint64
+	// LogGens records, per base log scanned by Def, the log generation the
+	// view was materialized from. A view whose recorded generation trails
+	// the catalog's is stale and must be quarantined, not served.
+	LogGens map[string]int
 }
 
 // NameForSig derives the stable view name for a signature.
@@ -49,7 +57,8 @@ func NameForSig(sig string) string {
 	return fmt.Sprintf("v_%016x", h.Sum64())
 }
 
-// New creates a view from a defining subtree and its materialization.
+// New creates a view from a defining subtree and its materialization,
+// stamping the content checksum.
 func New(def *logical.Node, table *storage.Table, seq int) *View {
 	sig := def.Signature()
 	return &View{
@@ -60,7 +69,67 @@ func New(def *logical.Node, table *storage.Table, seq int) *View {
 		Table:       table,
 		CreatedSeq:  seq,
 		LastUsedSeq: seq,
+		Checksum:    storage.ChecksumTable(table),
 	}
+}
+
+// BaseLogs returns the names of the base logs scanned by the view's
+// defining subtree, in first-visit order.
+func (v *View) BaseLogs() []string {
+	var logs []string
+	seen := map[string]bool{}
+	var walk func(n *logical.Node)
+	walk = func(n *logical.Node) {
+		if n == nil {
+			return
+		}
+		if n.Kind == logical.KindScan && !seen[n.LogName] {
+			seen[n.LogName] = true
+			logs = append(logs, n.LogName)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(v.Def)
+	return logs
+}
+
+// StampGenerations records the current generation of every base log the
+// view derives from. gen reports the generation for a log name (ok=false
+// when the log is unknown, in which case no stamp is recorded for it).
+func (v *View) StampGenerations(gen func(log string) (int, bool)) {
+	logs := v.BaseLogs()
+	if len(logs) == 0 {
+		return
+	}
+	v.LogGens = make(map[string]int, len(logs))
+	for _, name := range logs {
+		if g, ok := gen(name); ok {
+			v.LogGens[name] = g
+		}
+	}
+}
+
+// Stale reports whether any base log has advanced past the generation the
+// view was materialized from. Views without stamps are never stale.
+func (v *View) Stale(gen func(log string) (int, bool)) bool {
+	for name, g := range v.LogGens {
+		if cur, ok := gen(name); ok && cur > g {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify recomputes the content checksum and compares it against the
+// stamped value. Views stamped with a zero checksum and a nil table (not
+// yet materialized) verify trivially.
+func (v *View) Verify() bool {
+	if v.Checksum == 0 && v.Table == nil {
+		return true
+	}
+	return storage.ChecksumTable(v.Table) == v.Checksum
 }
 
 // SizeBytes returns the view's logical storage footprint.
@@ -69,6 +138,26 @@ func (v *View) SizeBytes() int64 {
 		return 0
 	}
 	return v.Table.LogicalBytes()
+}
+
+// Clone deep-copies the view: the definition and table are cloned, the
+// generation stamps copied. The descriptor is shared — it is derived from
+// the definition and immutable after creation.
+func (v *View) Clone() *View {
+	c := *v
+	if v.Def != nil {
+		c.Def = v.Def.Clone()
+	}
+	if v.Table != nil {
+		c.Table = v.Table.Clone()
+	}
+	if v.LogGens != nil {
+		c.LogGens = make(map[string]int, len(v.LogGens))
+		for k, g := range v.LogGens {
+			c.LogGens[k] = g
+		}
+	}
+	return &c
 }
 
 // Match describes how a view can answer a plan node.

@@ -15,6 +15,7 @@ package miso
 
 import (
 	"miso/internal/data"
+	"miso/internal/durability"
 	"miso/internal/faults"
 	"miso/internal/multistore"
 	"miso/internal/serve"
@@ -136,4 +137,58 @@ func Open(cfg Config, dataCfg DataConfig) (*System, error) {
 // custom logs registered by the caller).
 func OpenWithCatalog(cfg Config, cat *storage.Catalog) *System {
 	return multistore.New(cfg, cat)
+}
+
+// DurabilityManager owns a system's write-ahead log and checkpoint cadence;
+// enable it with Config.CheckpointEvery and reach it via System.Durability.
+type DurabilityManager = durability.Manager
+
+// WAL is the append-only log of every catalog and design mutation, plus the
+// durable copies of admitted view bytes.
+type WAL = durability.WAL
+
+// Checkpoint is a full-state snapshot at a WAL position.
+type Checkpoint = durability.Checkpoint
+
+// RecoveryReport summarizes one Recover run: records replayed, torn bytes
+// discarded, in-flight work rolled back, views quarantined, and the
+// simulated recovery time charged.
+type RecoveryReport = durability.RecoveryReport
+
+// Crash and corruption sites for FaultProfile.With. UniformFaults leaves
+// these at zero because surviving them requires the recovery path: arm them
+// explicitly and pair with Config.CheckpointEvery and Recover.
+const (
+	// SiteCrashReorg kills the process mid-reorganization.
+	SiteCrashReorg = faults.SiteCrashReorg
+	// SiteCrashTransfer kills the process mid-transfer.
+	SiteCrashTransfer = faults.SiteCrashTransfer
+	// SiteCrashServe kills the process while serving a query.
+	SiteCrashServe = faults.SiteCrashServe
+	// SiteWALWrite tears a WAL append partway through, then crashes.
+	SiteWALWrite = faults.SiteWALWrite
+	// SiteViewCorrupt silently flips stored view bytes, caught later by
+	// checksum verification.
+	SiteViewCorrupt = faults.SiteViewCorrupt
+)
+
+// ErrCrash marks a simulated process crash (an armed crash site fired, or a
+// WAL append tore); match it with errors.Is, then call Recover.
+var ErrCrash = faults.ErrCrash
+
+// ErrCorrupt marks a content-checksum mismatch on stored view bytes.
+var ErrCorrupt = faults.ErrCorrupt
+
+// Recover rebuilds a system after a crash from its last checkpoint and WAL:
+// replay, rollback of uncommitted reorganizations and transfers, checksum
+// and generation verification with quarantine, all charged to RECOVERY. If
+// the config's budgets are unset, the paper defaults are applied, matching
+// Open. The returned system is fully operational:
+//
+//	sys2, rep, err := miso.Recover(cfg, sys.Catalog(), sys.Durability().Latest(), sys.Durability().WAL())
+func Recover(cfg Config, cat *storage.Catalog, ckpt *Checkpoint, wal *WAL) (*System, *RecoveryReport, error) {
+	if cfg.Tuner.Bh == 0 && cfg.Tuner.Bd == 0 {
+		cfg.SetBudgets(cat, 2.0, 10<<30)
+	}
+	return multistore.Recover(cfg, cat, ckpt, wal)
 }
