@@ -11,12 +11,18 @@
 //	misobench -chaos            # fault-injection sweep (extension)
 //	misobench -crash            # crash-recovery sweep (durability extension)
 //	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
+//	misobench -bench -scale small -benchout BENCH_tuner.json  # benchmark pipeline
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles covering
+// whatever experiments the invocation runs (see README.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"miso/internal/experiments"
@@ -39,6 +45,11 @@ func main() {
 	queue := flag.Int("queue", 0, "soak: admission queue depth (0 = twice the workers)")
 	timeout := flag.Duration("timeout", 0, "soak: per-query wall-clock deadline (0 disables)")
 	reorgEvery := flag.Int("reorgevery", 0, "soak: force an online reorganization every n submissions (0 disables)")
+	bench := flag.Bool("bench", false, "run the benchmark pipeline (tuner, knapsack, serving; not part of -all)")
+	benchOut := flag.String("benchout", "", "benchmark pipeline: also write the machine-readable JSON report to this file")
+	tuneWorkers := flag.Int("tuneworkers", 0, "tuner what-if worker pool size for all experiments (<= 1 keeps costing serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -47,6 +58,36 @@ func main() {
 	}
 	cfg.FaultRate = *faultRate
 	cfg.FaultSeed = *faultSeed
+	cfg.TuneWorkers = *tuneWorkers
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	targets := map[string]bool{}
 	if *all {
@@ -68,6 +109,9 @@ func main() {
 	}
 	if *serveSoak {
 		targets["serve"] = true
+	}
+	if *bench {
+		targets["bench"] = true
 	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
@@ -187,6 +231,25 @@ func main() {
 			return err
 		}
 		r.WriteText(os.Stdout)
+		return nil
+	})
+	run("bench", func() error {
+		r, err := experiments.Bench(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := r.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
 		return nil
 	})
 	run("serve", func() error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"miso/internal/data"
@@ -11,15 +12,15 @@ import (
 	"miso/internal/optimizer"
 	"miso/internal/stats"
 	"miso/internal/transfer"
+	"miso/internal/views"
 	"miso/internal/workload"
 )
 
-// BenchmarkTunerReorganization measures one full reorganization decision —
-// benefits, interactions, sparsification, and both knapsacks — over a
-// 6-query window with a realistic view universe. The paper's claim is that
-// tuning is lightweight relative to query execution; this quantifies the
-// computational side of that claim.
-func BenchmarkTunerReorganization(b *testing.B) {
+// benchTunerSetup executes a 6-query evolving window in HV so its
+// opportunistic views form a realistic candidate universe (33 views under
+// data.SmallConfig), and returns everything a Tune call needs.
+func benchTunerSetup(b testing.TB) (Config, *optimizer.Optimizer, *history.Window, optimizer.Design) {
+	b.Helper()
 	cat, err := data.Generate(data.SmallConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -44,16 +45,70 @@ func BenchmarkTunerReorganization(b *testing.B) {
 	base := cat.TotalLogicalBytes()
 	cfg.Bh, cfg.Bd, cfg.Bt = 2*base, 2*base/10, 10<<30
 	cur := optimizer.Design{HV: h.Views, DW: d.Views}
+	return cfg, opt, win, cur
+}
+
+// BenchmarkTunerReorganization measures one full reorganization decision —
+// benefits, interactions, sparsification, and both knapsacks — over a
+// 6-query window with a realistic view universe. The paper's claim is that
+// tuning is lightweight relative to query execution; this quantifies the
+// computational side of that claim. The baseline sub-benchmark runs the
+// original serial costing path (Config.BaselineCosting); the workers=N
+// variants run the current path at that pool size.
+func BenchmarkTunerReorganization(b *testing.B) {
+	cfg, opt, win, cur := benchTunerSetup(b)
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh tuner per iteration: the cost cache is part of the
+			// work being measured.
+			tuner := NewTuner(cfg, opt)
+			if _, err := tuner.Tune(cur, win); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cur.HV.Len()), "candidate-views")
+	}
+	b.Run("baseline", func(b *testing.B) {
+		c := cfg
+		c.BaselineCosting = true
+		run(b, c)
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := cfg
+			c.TuneWorkers = w
+			run(b, c)
+		})
+	}
+}
+
+// BenchmarkTunerCostKey regresses the cost-cache hot path: a cache hit
+// must build its fixed-size (seq, view-set hash) key without allocating.
+// The companion TestTunerCostKeyZeroAllocOnHit asserts the 0 allocs/op
+// this benchmark reports.
+func BenchmarkTunerCostKey(b *testing.B) {
+	cfg, opt, win, cur := benchTunerSetup(b)
+	tuner := NewTuner(cfg, opt)
+	e := win.Entries()[0]
+	universe := cur.HV.All()
+	if len(universe) < 2 {
+		b.Fatalf("need >= 2 candidate views, have %d", len(universe))
+	}
+	pair := []*views.View{universe[0], universe[1]}
+	// Warm the entries so every measured call is a hit.
+	tuner.cost(e, nil, nil)
+	tuner.cost(e, nil, pair[:1])
+	tuner.cost(e, pair[:1], pair[1:])
+	tuner.cost(e, nil, pair)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// A fresh tuner per iteration: the cost cache is part of the
-		// work being measured.
-		tuner := NewTuner(cfg, opt)
-		if _, err := tuner.Tune(cur, win); err != nil {
-			b.Fatal(err)
-		}
+		tuner.cost(e, nil, nil)
+		tuner.cost(e, nil, pair[:1])
+		tuner.cost(e, pair[:1], pair[1:])
+		tuner.cost(e, nil, pair)
 	}
-	b.ReportMetric(float64(h.Views.Len()), "candidate-views")
 }
 
 // BenchmarkKnapsackPacking isolates the DP itself at a realistic size.

@@ -102,3 +102,12 @@ func clampUnit(u int64) int64 {
 	}
 	return u
 }
+
+// PackKnapsackDW packs items into the DW knapsack — dimensions (MoveToDW,
+// BnDW) under the given storage, transfer, and discretization parameters.
+// It is the benchmark pipeline's entry point to the DP; Tune itself calls
+// the unexported form.
+func PackKnapsackDW(items []*Item, storage, transfer, discretize int64) []*Item {
+	return packKnapsack(items, storage, transfer, discretize,
+		func(it *Item) (int64, float64) { return it.MoveToDW, it.BnDW })
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"miso/internal/history"
 	"miso/internal/logical"
@@ -59,6 +61,21 @@ type Config struct {
 	// first phase consume the whole budget). Zero is the paper's default
 	// heuristic.
 	ReserveReturnFrac float64
+
+	// TuneWorkers bounds the worker pool evaluating what-if cost probes
+	// during Tune. Values <= 1 keep costing fully serial (the default).
+	// Any worker count produces byte-identical designs: parallel probes
+	// only warm the cost cache, and accumulation always runs serially in
+	// a fixed (entry, pair) order, so float64 rounding never depends on
+	// scheduling.
+	TuneWorkers int
+
+	// BaselineCosting restores the original serial costing path — a
+	// string-keyed unsharded cost cache, per-view relevance plan walks,
+	// and no match memoization — and ignores TuneWorkers. It exists so
+	// the benchmark pipeline can record the speedup baseline in-repo;
+	// designs are identical either way.
+	BaselineCosting bool
 }
 
 // DefaultConfig returns paper-like tuning knobs (budgets must still be set
@@ -76,7 +93,9 @@ type Tuner struct {
 	cfg Config
 	opt *optimizer.Optimizer
 
-	costCache map[string]float64
+	cache  *costCache
+	memo   *views.MatchMemo
+	legacy map[string]float64 // BaselineCosting's string-keyed cache
 
 	// Debug, when set, receives the knapsack candidates and the chosen
 	// DW/HV items after each Tune call (used by tests and diagnostics).
@@ -88,7 +107,18 @@ func NewTuner(cfg Config, opt *optimizer.Optimizer) *Tuner {
 	if cfg.MaxPartSize <= 0 {
 		cfg.MaxPartSize = 4
 	}
-	return &Tuner{cfg: cfg, opt: opt, costCache: map[string]float64{}}
+	return &Tuner{
+		cfg: cfg, opt: opt,
+		cache:  newCostCache(),
+		memo:   views.NewMatchMemo(),
+		legacy: map[string]float64{},
+	}
+}
+
+// CacheStats reports the what-if cost cache's cumulative hit and miss
+// counters; the benchmark pipeline derives its hit rate from them.
+func (t *Tuner) CacheStats() (hits, misses uint64) {
+	return t.cache.stats()
 }
 
 // Item is one knapsack candidate: a single view or a merged group of
@@ -152,16 +182,51 @@ func (t *Tuner) Tune(current optimizer.Design, w *history.Window) (*Reorg, error
 
 	entries := w.Entries()
 	weights := w.Weights()
+	workers := t.cfg.TuneWorkers
+	if t.cfg.BaselineCosting {
+		workers = 1
+	}
+
+	// Serially prewarm every window plan's node signatures: Signature
+	// memoizes lazily into the node, a write that must not first happen
+	// on two what-if workers at once.
+	for _, e := range entries {
+		e.Plan.PrewarmSignatures()
+	}
 
 	// Per-query relevant views: only those matching some plan node can
-	// have benefit or interactions for that query.
+	// have benefit or interactions for that query. Each plan's node
+	// signatures and subsumption descriptors are computed once here and
+	// matched against every view, instead of re-walking (and
+	// re-describing) the plan per view. Entries are independent, so the
+	// matching fans out across the worker pool; each slot is written by
+	// exactly one task and the per-entry view order follows the sorted
+	// universe, keeping the result identical at any worker count.
 	relevant := make([][]*views.View, len(entries))
-	for i, e := range entries {
-		for _, v := range universe {
-			if viewRelevant(e.Plan, v) {
-				relevant[i] = append(relevant[i], v)
+	if t.cfg.BaselineCosting {
+		for i, e := range entries {
+			for _, v := range universe {
+				if viewRelevant(e.Plan, v) {
+					relevant[i] = append(relevant[i], v)
+				}
 			}
 		}
+	} else {
+		runParallel(workers, len(entries), func(i int) {
+			relevant[i] = relevantViews(entries[i].Plan, universe)
+		})
+	}
+
+	// Warm the cost cache by fanning every what-if probe — per-entry
+	// base and benefit probes, per-pair doi probes — out across the
+	// worker pool. The optimizer's cost path is a pure read (see
+	// optimizer.EnumeratePlans), so every probe computes the same value
+	// regardless of which worker runs it; the serial accumulation below
+	// then reads each probe back as a cache hit in the original fixed
+	// (entry, pair) order, making the float64 sums — and every design
+	// decision downstream — byte-identical to the serial tuner.
+	if workers > 1 {
+		t.warmProbes(entries, relevant, workers)
 	}
 
 	// Predicted per-store benefits for each view.
@@ -305,8 +370,39 @@ func (t *Tuner) Tune(current optimizer.Design, w *history.Window) (*Reorg, error
 }
 
 // cost evaluates (with caching) the what-if cost of the entry's query under
-// a hypothetical design of the given HV and DW views.
+// a hypothetical design of the given HV and DW views. Hits allocate
+// nothing: the cache key is a fixed-size struct built from inline hashes,
+// and the hypothetical Design is only assembled on a miss. Safe for
+// concurrent use once the entry plans' signatures are prewarmed.
 func (t *Tuner) cost(e history.Entry, hvViews, dwViews []*views.View) float64 {
+	if t.cfg.BaselineCosting {
+		return t.baselineCost(e, hvViews, dwViews)
+	}
+	key := costKey{seq: e.Seq, hv: viewSetHash(hvViews), dw: viewSetHash(dwViews)}
+	if c, ok := t.cache.get(key); ok {
+		return c
+	}
+	d := optimizer.EmptyDesign()
+	// Every hypothetical design of this tuning phase shares one match
+	// memo, so a (subtree, view) pair is described and checked once
+	// across all probes instead of once per probe.
+	d.HV.UseMemo(t.memo)
+	d.DW.UseMemo(t.memo)
+	for _, v := range hvViews {
+		d.HV.Add(v)
+	}
+	for _, v := range dwViews {
+		d.DW.Add(v)
+	}
+	c := t.opt.Cost(e.Plan, d)
+	t.cache.put(key, c)
+	return c
+}
+
+// baselineCost is the original costing path, kept for the benchmark
+// pipeline's speedup baseline: a string key freshly built (and sorted) per
+// probe, a single unsharded map, and no match memoization.
+func (t *Tuner) baselineCost(e history.Entry, hvViews, dwViews []*views.View) float64 {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "q%d|h:", e.Seq)
 	for _, v := range sortedByName(hvViews) {
@@ -319,7 +415,7 @@ func (t *Tuner) cost(e history.Entry, hvViews, dwViews []*views.View) float64 {
 		sb.WriteByte(',')
 	}
 	key := sb.String()
-	if c, ok := t.costCache[key]; ok {
+	if c, ok := t.legacy[key]; ok {
 		return c
 	}
 	d := optimizer.EmptyDesign()
@@ -329,8 +425,8 @@ func (t *Tuner) cost(e history.Entry, hvViews, dwViews []*views.View) float64 {
 	for _, v := range dwViews {
 		d.DW.Add(v)
 	}
-	c := t.opt.Cost(e.Plan, d)
-	t.costCache[key] = c
+	c := t.opt.CostBaseline(e.Plan, d)
+	t.legacy[key] = c
 	return c
 }
 
@@ -340,6 +436,108 @@ func sortedByName(vs []*views.View) []*views.View {
 	return out
 }
 
+// probe is one independent what-if cost task.
+type probe struct {
+	e      history.Entry
+	hv, dw []*views.View
+}
+
+// warmProbes lists every what-if probe Tune's accumulation loops will
+// read — in their own right independent, pure cost tasks — and evaluates
+// them across the worker pool, filling the cost cache. Two workers racing
+// to the same key both compute the same pure value, so the final cached
+// float is scheduling-independent.
+func (t *Tuner) warmProbes(entries []history.Entry, relevant [][]*views.View, workers int) {
+	var tasks []probe
+	for i, e := range entries {
+		rel := relevant[i]
+		if len(rel) == 0 {
+			continue
+		}
+		tasks = append(tasks, probe{e: e})
+		for _, v := range rel {
+			tasks = append(tasks,
+				probe{e: e, dw: []*views.View{v}},
+				probe{e: e, hv: []*views.View{v}})
+		}
+		for a := 0; a < len(rel); a++ {
+			for b := a + 1; b < len(rel); b++ {
+				tasks = append(tasks, probe{e: e, dw: []*views.View{rel[a], rel[b]}})
+			}
+		}
+	}
+	runParallel(workers, len(tasks), func(i int) {
+		t.cost(tasks[i].e, tasks[i].hv, tasks[i].dw)
+	})
+}
+
+// runParallel runs fn(0..n-1) across at most `workers` goroutines, pulling
+// indices from an atomic counter so uneven task costs balance themselves.
+// workers <= 1 (or a trivial n) degenerates to a plain serial loop on the
+// calling goroutine.
+func runParallel(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// relevantViews returns the subset of the (name-sorted) universe matching
+// some node of the plan, in universe order. The plan is walked and
+// described exactly once; each view then matches against the precomputed
+// per-node signatures and descriptors (views.MatchDescriptor) instead of
+// re-walking the plan.
+func relevantViews(plan *logical.Node, universe []*views.View) []*views.View {
+	nodes := plan.Nodes()
+	sigs := make([]string, len(nodes))
+	descs := make([]*logical.Descriptor, len(nodes))
+	for i, n := range nodes {
+		sigs[i] = n.Signature()
+		descs[i] = logical.Describe(n)
+	}
+	var rel []*views.View
+	for _, v := range universe {
+		for i := range nodes {
+			if sigs[i] == v.Sig {
+				rel = append(rel, v)
+				break
+			}
+			if v.ExactOnly {
+				continue
+			}
+			if _, ok := views.MatchDescriptor(descs[i], v); ok {
+				rel = append(rel, v)
+				break
+			}
+		}
+	}
+	return rel
+}
+
+// viewRelevant reports whether v matches some node of the plan. Tune uses
+// the batched relevantViews instead; this single-view form serves tests
+// and diagnostics.
 func viewRelevant(plan *logical.Node, v *views.View) bool {
 	found := false
 	plan.Walk(func(n *logical.Node) {

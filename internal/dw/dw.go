@@ -185,7 +185,37 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node) (*Result
 // mode). This is the store's "what-if interface" in the paper's terms: its
 // optimizer units are already normalized to seconds.
 func (s *Store) CostPlan(plan *logical.Node) float64 {
-	return s.costFromSizes(plan, func(n *logical.Node) int64 { return s.est.Estimate(n).Bytes })
+	return s.CostPlanWith(plan, nil)
+}
+
+// CostPlanWith costs like CostPlan but resolves node sizes through a local
+// stat overlay (signature -> stat) before the shared estimator cache. The
+// optimizer uses it to cost DW remainders that read hypothetical migrated
+// working sets (ws_0, ws_1, ...) without publishing their stats, keeping
+// the what-if path read-only and safe for concurrent use.
+func (s *Store) CostPlanWith(plan *logical.Node, overlay map[string]stats.Stat) float64 {
+	// The cost walk sizes each node once per parent visit; memoize per
+	// call so a node's subtree is estimated once, not once per appearance
+	// as an input.
+	sizes := map[*logical.Node]int64{}
+	return s.costFromSizes(plan, func(n *logical.Node) int64 {
+		if b, ok := sizes[n]; ok {
+			return b
+		}
+		b := s.est.EstimateWith(n, overlay).Bytes
+		sizes[n] = b
+		return b
+	})
+}
+
+// CostPlanBaseline costs like CostPlanWith but re-estimates each subtree
+// at every appearance instead of memoizing sizes per call — the original
+// cost walk, kept so the benchmark pipeline can record the tuner's
+// speedup baseline in-repo. Both variants compute identical costs.
+func (s *Store) CostPlanBaseline(plan *logical.Node, overlay map[string]stats.Stat) float64 {
+	return s.costFromSizes(plan, func(n *logical.Node) int64 {
+		return s.est.EstimateWith(n, overlay).Bytes
+	})
 }
 
 // costFromSizes charges each operator its input bytes through the cluster

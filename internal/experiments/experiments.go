@@ -17,11 +17,8 @@ import (
 	"miso/internal/faults"
 	"miso/internal/multistore"
 	"miso/internal/optimizer"
-	"miso/internal/views"
 	"miso/internal/workload"
 )
-
-func freshViewSet() *views.Set { return views.NewSet() }
 
 func emptyDesign() optimizer.Design { return optimizer.EmptyDesign() }
 
@@ -40,6 +37,10 @@ type Config struct {
 	FaultRate float64
 	// FaultSeed seeds the injector's deterministic RNG.
 	FaultSeed int64
+	// TuneWorkers bounds the tuner's what-if worker pool (core.Config.
+	// TuneWorkers); <= 1 keeps costing serial. Designs are identical at
+	// any worker count, only Tune wall-clock changes.
+	TuneWorkers int
 }
 
 // Default returns the paper's main configuration.
@@ -70,6 +71,7 @@ func (c Config) newSystem(v multistore.Variant) (*multistore.System, error) {
 	cfg.SetBudgets(cat, c.BudgetMultiple, c.TransferBudget)
 	cfg.Faults = faults.Uniform(c.FaultRate)
 	cfg.FaultSeed = c.FaultSeed
+	cfg.Tuner.TuneWorkers = c.TuneWorkers
 	sys := multistore.New(cfg, cat)
 	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
 		return nil, err

@@ -55,7 +55,7 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 	if _, err := sys.HV().Execute(plan, 0); err != nil {
 		return nil, err
 	}
-	sys.HV().Views = freshViewSet()
+	sys.HV().Views.Reset()
 
 	res := &Fig3Result{Query: q.Name}
 	plans := sys.Optimizer().EnumeratePlans(plan, emptyDesign())

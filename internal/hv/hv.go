@@ -360,15 +360,45 @@ func (s *Store) expandInPlace(n *logical.Node) *logical.Node {
 
 // CostPlan estimates the simulated execution time of the plan without
 // running it, using the shared estimator (what-if mode). Hypothetical views
-// must have recorded sizes (RecordView) for accurate costing.
+// must have recorded sizes (RecordView) for accurate costing. The stage
+// sum runs in signature order so the float64 accumulation — and therefore
+// every what-if cost — is deterministic regardless of map iteration order.
 func (s *Store) CostPlan(plan *logical.Node) float64 {
+	return s.costPlan(plan, true)
+}
+
+// CostPlanBaseline costs like CostPlan but re-estimates each subtree at
+// every appearance instead of memoizing sizes per call — the original
+// cost walk, kept so the benchmark pipeline can record the tuner's
+// speedup baseline in-repo. Both variants compute identical costs.
+func (s *Store) CostPlanBaseline(plan *logical.Node) float64 {
+	return s.costPlan(plan, false)
+}
+
+func (s *Store) costPlan(plan *logical.Node, memoize bool) float64 {
 	if plan.Kind == logical.KindViewScan || plan.Kind == logical.KindScan {
 		return 0
 	}
 	mat := MaterializedNodes(plan)
-	size := func(n *logical.Node) int64 { return s.est.Estimate(n).Bytes }
-	var sec float64
+	stages := make([]*logical.Node, 0, len(mat))
 	for n := range mat {
+		stages = append(stages, n)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Signature() < stages[j].Signature() })
+	size := func(n *logical.Node) int64 { return s.est.Estimate(n).Bytes }
+	if memoize {
+		sizes := map[*logical.Node]int64{}
+		size = func(n *logical.Node) int64 {
+			if b, ok := sizes[n]; ok {
+				return b
+			}
+			b := s.est.Estimate(n).Bytes
+			sizes[n] = b
+			return b
+		}
+	}
+	var sec float64
+	for _, n := range stages {
 		normal, serde := stageInput(n, mat, size)
 		sec += s.jobSeconds(normal, serde, s.est.Estimate(n).Bytes)
 	}

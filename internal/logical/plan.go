@@ -182,6 +182,16 @@ func (n *Node) Nodes() []*Node {
 	return out
 }
 
+// PrewarmSignatures computes and memoizes the signature of every node in
+// the subtree. Signature caches lazily into the node on first call, which
+// is a benign write on a single goroutine but a data race when multiple
+// goroutines first touch a shared plan concurrently — the tuner prewarms
+// its window's plans serially before fanning what-if probes out to a
+// worker pool.
+func (n *Node) PrewarmSignatures() {
+	n.Walk(func(m *Node) { m.Signature() })
+}
+
 // UsesUDFHere reports whether this node's own expressions call a UDF.
 func (n *Node) UsesUDFHere() bool {
 	check := func(e expr.Expr) bool { return e != nil && expr.UsesUDF(e) }
@@ -358,8 +368,8 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	}
 }
 
-// Clone deep-copies the plan tree. Expressions are shared (they are
-// immutable once built).
+// Clone deep-copies the plan tree. Expressions and schemas are shared
+// (both are immutable once built).
 func (n *Node) Clone() *Node {
 	c := *n
 	c.sig = ""
@@ -367,8 +377,38 @@ func (n *Node) Clone() *Node {
 	for i, ch := range n.Children {
 		c.Children[i] = ch.Clone()
 	}
+	// The schema pointer is shared: schemas are immutable once built —
+	// every rewrite installs a freshly constructed schema via SetSchema —
+	// so the deep copy was pure overhead on the optimizer's clone-heavy
+	// plan enumeration path.
+	return &c
+}
+
+// CloneShallow copies only the node itself: the schema pointer is shared
+// (as in Clone) and Children is a fresh slice still holding the original
+// child pointers. Rewrites that overwrite every child slot use it to
+// avoid cloning subtrees that are about to be replaced; unchanged
+// subtrees are then shared between the original and rewritten plans,
+// which is safe because plan nodes are never mutated after construction.
+func (n *Node) CloneShallow() *Node {
+	c := *n
+	c.sig = ""
+	c.Children = append([]*Node(nil), n.Children...)
+	return &c
+}
+
+// CloneDeep clones like Clone but deep-copies each node's schema, as
+// Clone originally did. The optimizer's baseline costing path uses it so
+// the benchmark pipeline can record the speedup baseline in-repo.
+func (n *Node) CloneDeep() *Node {
+	c := *n
+	c.sig = ""
 	if n.schema != nil {
 		c.schema = n.schema.Clone()
+	}
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = ch.CloneDeep()
 	}
 	return &c
 }

@@ -98,7 +98,7 @@ func (s *System) runETL() error {
 	}
 	// The ETL engine's by-products are not retained: DW-ONLY serves
 	// queries exclusively from the warehouse.
-	s.hv.Views = freshSet()
+	s.hv.Views.Reset()
 	return nil
 }
 

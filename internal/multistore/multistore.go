@@ -542,7 +542,7 @@ func (s *System) runVariant(ctx context.Context, e history.Entry) (*QueryReport,
 		if err != nil {
 			return nil, err
 		}
-		s.hv.Views = freshSet() // no retention
+		s.hv.Views.Reset() // no retention
 		return rep, nil
 	case VariantHVOp:
 		return s.runHVOp(ctx, e)
@@ -553,7 +553,7 @@ func (s *System) runVariant(ctx context.Context, e history.Entry) (*QueryReport,
 		if err != nil {
 			return nil, err
 		}
-		s.hv.Views = freshSet() // transfers and by-products are discarded
+		s.hv.Views.Reset() // transfers and by-products are discarded
 		return rep, nil
 	case VariantMSLru:
 		return s.runMSLru(ctx, e)

@@ -1,0 +1,49 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+// runWorkloadWithTuneWorkers replays the full 32-query evolving workload
+// on a fresh zero-fault MS-MISO system whose tuner uses the given what-if
+// worker pool size, and returns the system's durable-state digest.
+func runWorkloadWithTuneWorkers(t *testing.T, workers int) uint64 {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.Tuner.TuneWorkers = workers
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("workers=%d query %d: %v", workers, i, err)
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("workers=%d invariants: %v", workers, err)
+	}
+	return sys.StateDigest()
+}
+
+// TestStateDigestIdenticalAcrossTuneWorkers is the end-to-end determinism
+// regression for parallel what-if costing: a full zero-fault workload run
+// — every query, every reorganization, every design the tuner picks —
+// must leave byte-identical durable state whether the tuner costs
+// serially or across eight workers.
+func TestStateDigestIdenticalAcrossTuneWorkers(t *testing.T) {
+	serial := runWorkloadWithTuneWorkers(t, 1)
+	parallel := runWorkloadWithTuneWorkers(t, 8)
+	if serial != parallel {
+		t.Fatalf("durable-state digest diverged: workers=1 %x, workers=8 %x", serial, parallel)
+	}
+}

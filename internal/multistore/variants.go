@@ -15,8 +15,6 @@ import (
 	"miso/internal/views"
 )
 
-func freshSet() *views.Set { return views.NewSet() }
-
 // runHVOnly executes the whole query in HV with no views.
 func (s *System) runHVOnly(ctx context.Context, e history.Entry) (*QueryReport, error) {
 	res, err := s.hv.ExecuteContext(ctx, e.Plan, e.Seq)
@@ -334,7 +332,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		rep.UsedViews = s.markUsedViews(mp.HVPlan, e.Seq)
 		s.metrics.HVExe += res.Seconds
 		s.addRecovery(res.RecoverySeconds, res.Retries)
-		s.hv.Views = freshSet()
+		s.hv.Views.Reset()
 		return rep, nil
 	}
 	bypassed := true
@@ -384,7 +382,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 				return nil, err
 			}
 			views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
-			s.hv.Views = freshSet()
+			s.hv.Views.Reset()
 			return rep, nil
 		}
 		if failed, _ := s.inj.Check(faults.SiteViewCorrupt); failed {
@@ -402,7 +400,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 				return nil, err
 			}
 			views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
-			s.hv.Views = freshSet()
+			s.hv.Views.Reset()
 			return rep, nil
 		}
 		rep.RecoverySeconds += mv.RecoverySeconds
@@ -449,7 +447,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 			return nil, err
 		}
 		views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
-		s.hv.Views = freshSet()
+		s.hv.Views.Reset()
 		return rep, nil
 	}
 	rep.DWSeconds = dwRes.Seconds
@@ -460,7 +458,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 	s.dw.ClearTemp()
 
 	views.EvictLRU(s.dw.Views, s.cfg.Tuner.Bd)
-	s.hv.Views = freshSet()
+	s.hv.Views.Reset()
 	s.metrics.HVExe += rep.HVSeconds
 	s.metrics.Transfer += rep.TransferSeconds
 	s.metrics.DWExe += rep.DWSeconds
@@ -554,8 +552,8 @@ func (s *System) reorg(w *history.Window) error {
 
 	s.metrics.Tune += rec.Seconds
 	s.metrics.Recovery += rec.RecoverySeconds
-	s.hv.Views = r.NewHV
-	s.dw.Views = r.NewDW
+	s.hv.Views.ReplaceAll(r.NewHV)
+	s.dw.Views.ReplaceAll(r.NewDW)
 	s.metrics.Reorgs++
 	s.reorgLog = append(s.reorgLog, rec)
 
@@ -625,8 +623,8 @@ func (s *System) offlineTune() error {
 	}
 	// The dry run's materializations are analysis artifacts, not free
 	// physical design: discard them.
-	s.hv.Views = freshSet()
-	s.dw.Views = freshSet()
+	s.hv.Views.Reset()
+	s.dw.Views.Reset()
 	return nil
 }
 

@@ -129,6 +129,12 @@ func New(h *hv.Store, d *dw.Store, est *stats.Estimator, tcfg transfer.Config) *
 // subtree by the best matching view in the set. It returns the (possibly
 // unchanged) plan.
 func RewriteWithViews(n *logical.Node, set *views.Set) *logical.Node {
+	// The rewrite overwrites every child slot, so only the node itself
+	// needs copying; subtrees the rewrite leaves alone stay shared.
+	return rewriteWithViews(n, set, (*logical.Node).CloneShallow)
+}
+
+func rewriteWithViews(n *logical.Node, set *views.Set, clone func(*logical.Node) *logical.Node) *logical.Node {
 	if set != nil && set.Len() > 0 {
 		if m, ok := set.BestMatch(n); ok {
 			if r, err := m.Rewrite(); err == nil {
@@ -139,10 +145,10 @@ func RewriteWithViews(n *logical.Node, set *views.Set) *logical.Node {
 	if len(n.Children) == 0 {
 		return n
 	}
-	c := n.Clone()
+	c := clone(n)
 	changed := false
 	for i := range c.Children {
-		nc := RewriteWithViews(c.Children[i], set)
+		nc := rewriteWithViews(c.Children[i], set, clone)
 		if nc != c.Children[i] {
 			changed = true
 		}
@@ -195,38 +201,102 @@ func (o *Optimizer) enumerateCuts(n *logical.Node, limit int) [][]*logical.Node 
 	return options
 }
 
+// cutEval memoizes the frontier-independent evaluation of one cut subtree
+// within a single plan enumeration: its DW-view rewrite (when one covers
+// it), or its HV rewrite, estimated output, HV cost and transfer cost.
+// The same subtree appears in many enumerated frontiers; evaluating it
+// once per EnumeratePlans call instead of once per frontier removes the
+// dominant repeated work from the what-if path. Only the migrated working
+// set's temp name differs per frontier (it is positional), so that stays
+// in buildPlan. Every memoized value is a pure function of the node and
+// the design, which EnumeratePlans holds fixed.
+type cutEval struct {
+	dwView *logical.Node // non-nil when a DW-resident view answers the cut
+	hvPlan *logical.Node
+	st     stats.Stat
+	hvCost float64
+	xfer   float64
+}
+
+func (o *Optimizer) evalCut(cutNode *logical.Node, d Design, memo map[*logical.Node]*cutEval) *cutEval {
+	if memo != nil {
+		if ce, ok := memo[cutNode]; ok {
+			return ce
+		}
+	}
+	ce := &cutEval{}
+	if d.DW != nil {
+		if m, ok := d.DW.BestMatch(cutNode); ok {
+			if r, err := m.Rewrite(); err == nil {
+				ce.dwView = r
+				if memo != nil {
+					memo[cutNode] = ce
+				}
+				return ce
+			}
+		}
+	}
+	ce.st = o.est.Estimate(cutNode)
+	if memo != nil {
+		ce.hvPlan = RewriteWithViews(cutNode, d.HV)
+		ce.hvCost = o.hv.CostPlan(ce.hvPlan)
+	} else {
+		ce.hvPlan = rewriteWithViews(cutNode, d.HV, (*logical.Node).CloneDeep)
+		ce.hvCost = o.hv.CostPlanBaseline(ce.hvPlan)
+	}
+	ce.xfer = transfer.Cost(o.tcfg, ce.st.Bytes).Total()
+	if memo != nil {
+		memo[cutNode] = ce
+	}
+	return ce
+}
+
 // buildPlan assembles and costs the multistore plan for one frontier.
-func (o *Optimizer) buildPlan(raw *logical.Node, frontier []*logical.Node, d Design) (*MultiPlan, error) {
+// The what-if stats of the hypothetical migrated working sets live in a
+// plan-local overlay rather than the shared estimator cache, so buildPlan
+// never mutates shared state: concurrent costing calls reusing the same
+// temp names (ws_0, ws_1, ...) cannot clobber each other.
+func (o *Optimizer) buildPlan(raw *logical.Node, frontier []*logical.Node, d Design, memo map[*logical.Node]*cutEval) (*MultiPlan, error) {
 	plan := &MultiPlan{}
 	var totalBytes int64
 
 	// Replace each frontier subtree in the DW part.
 	replace := map[*logical.Node]*logical.Node{}
+	var overlay map[string]stats.Stat
 	for i, cutNode := range frontier {
 		cut := Cut{Node: cutNode, TempName: fmt.Sprintf("ws_%d", i)}
-		if d.DW != nil {
-			if m, ok := d.DW.BestMatch(cutNode); ok {
-				if r, err := m.Rewrite(); err == nil {
-					cut.DWView = r
-					replace[cutNode] = r
-					plan.Cuts = append(plan.Cuts, cut)
-					continue
-				}
-			}
+		ce := o.evalCut(cutNode, d, memo)
+		if ce.dwView != nil {
+			cut.DWView = ce.dwView
+			replace[cutNode] = ce.dwView
+			plan.Cuts = append(plan.Cuts, cut)
+			continue
 		}
-		cut.HVPlan = RewriteWithViews(cutNode, d.HV)
-		st := o.est.Estimate(cutNode)
-		cut.EstBytes = st.Bytes
-		totalBytes += st.Bytes
-		o.est.RecordView(cut.TempName, st)
+		cut.HVPlan = ce.hvPlan
+		cut.EstBytes = ce.st.Bytes
+		totalBytes += ce.st.Bytes
+		if memo == nil {
+			// Baseline path: publish the hypothetical working set's stat
+			// to the shared estimator, as the original costing did.
+			o.est.RecordView(cut.TempName, ce.st)
+		} else {
+			if overlay == nil {
+				overlay = make(map[string]stats.Stat, len(frontier))
+			}
+			overlay["viewscan("+cut.TempName+")"] = ce.st
+		}
 		replace[cutNode] = logical.NewViewScan(cut.TempName, cutNode.Schema())
-		plan.EstHV += o.hv.CostPlan(cut.HVPlan)
-		plan.EstTransfer += transfer.Cost(o.tcfg, st.Bytes).Total()
+		plan.EstHV += ce.hvCost
+		plan.EstTransfer += ce.xfer
 		plan.Cuts = append(plan.Cuts, cut)
 	}
 	plan.EstTransferBytes = totalBytes
 
-	dwPart, err := substitute(raw, replace)
+	clone := (*logical.Node).CloneShallow
+	if memo == nil {
+		clone = (*logical.Node).CloneDeep
+	}
+	dwPart, err := substitute(raw, replace, clone)
 	if err != nil {
 		return nil, err
 	}
@@ -234,21 +304,25 @@ func (o *Optimizer) buildPlan(raw *logical.Node, frontier []*logical.Node, d Des
 		return nil, fmt.Errorf("optimizer: DW part contains a UDF")
 	}
 	plan.DWPart = dwPart
-	plan.EstDW = o.dw.CostPlan(dwPart)
+	if memo != nil {
+		plan.EstDW = o.dw.CostPlanWith(dwPart, overlay)
+	} else {
+		plan.EstDW = o.dw.CostPlanBaseline(dwPart, overlay)
+	}
 	return plan, nil
 }
 
 // substitute clones the tree, swapping replaced subtrees.
-func substitute(n *logical.Node, replace map[*logical.Node]*logical.Node) (*logical.Node, error) {
+func substitute(n *logical.Node, replace map[*logical.Node]*logical.Node, clone func(*logical.Node) *logical.Node) (*logical.Node, error) {
 	if r, ok := replace[n]; ok {
 		return r, nil
 	}
 	if len(n.Children) == 0 {
 		return nil, fmt.Errorf("optimizer: leaf %s not covered by any cut", n.Kind)
 	}
-	c := n.Clone()
+	c := clone(n)
 	for i := range n.Children {
-		nc, err := substitute(n.Children[i], replace)
+		nc, err := substitute(n.Children[i], replace, clone)
 		if err != nil {
 			return nil, err
 		}
@@ -265,16 +339,24 @@ func (o *Optimizer) hvOnlyPlan(raw *logical.Node, d Design) *MultiPlan {
 
 // EnumeratePlans returns every candidate multistore plan with estimated
 // costs: the HV-only plan first, then one plan per enumerated split.
+//
+// Concurrency contract: EnumeratePlans (and Choose/Cost above it) is a
+// pure read of the stores, the estimator, and the design — it records no
+// stats, stages no tables, and draws no faults — so any number of
+// goroutines may cost plans concurrently, provided the raw plan's node
+// signatures were prewarmed (logical.Node.PrewarmSignatures) and nothing
+// concurrently mutates the design's view sets or the catalog.
 func (o *Optimizer) EnumeratePlans(raw *logical.Node, d Design) []*MultiPlan {
 	plans := []*MultiPlan{o.hvOnlyPlan(raw, d)}
 	if o.DisableSplits {
 		return plans
 	}
+	memo := map[*logical.Node]*cutEval{}
 	for _, frontier := range o.enumerateCuts(raw, o.MaxPlans) {
 		if len(frontier) == 1 && frontier[0] == raw {
 			continue // HV-only already covered
 		}
-		p, err := o.buildPlan(raw, frontier, d)
+		p, err := o.buildPlan(raw, frontier, d, memo)
 		if err != nil {
 			continue // invalid split (UDF above the cut, etc.)
 		}
@@ -305,6 +387,36 @@ func (o *Optimizer) Cost(raw *logical.Node, d Design) float64 {
 	best, err := o.Choose(raw, d)
 	if err != nil {
 		return 0
+	}
+	return best.EstTotal()
+}
+
+// CostBaseline is Cost without the per-enumeration cut memo, the stores'
+// per-call size memos, or schema sharing in plan clones: every frontier
+// deep-clones, re-rewrites, re-estimates, and re-costs its cut subtrees,
+// as the original costing path did. The tuner's Config.BaselineCosting mode
+// uses it so the benchmark pipeline can record the speedup baseline
+// in-repo; both paths compute identical costs.
+func (o *Optimizer) CostBaseline(raw *logical.Node, d Design) float64 {
+	p := rewriteWithViews(raw, d.HV, (*logical.Node).CloneDeep)
+	plans := []*MultiPlan{{HVOnly: true, HVPlan: p, EstHV: o.hv.CostPlanBaseline(p)}}
+	if !o.DisableSplits {
+		for _, frontier := range o.enumerateCuts(raw, o.MaxPlans) {
+			if len(frontier) == 1 && frontier[0] == raw {
+				continue
+			}
+			p, err := o.buildPlan(raw, frontier, d, nil)
+			if err != nil {
+				continue
+			}
+			plans = append(plans, p)
+		}
+	}
+	best := plans[0]
+	for _, p := range plans[1:] {
+		if p.EstTotal() < best.EstTotal() {
+			best = p
+		}
 	}
 	return best.EstTotal()
 }

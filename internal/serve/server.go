@@ -132,6 +132,11 @@ type job struct {
 
 // Server is the serving frontend. Create it with NewServer; Do submits
 // queries from any goroutine; Close drains the workers.
+//
+// Reorganize quiesces the serving plane behind the drain barrier before
+// the backend tunes, so the tuner's parallel what-if workers (which only
+// read stores and estimator state) never overlap live queries' fault
+// injector draws or WAL appends.
 type Server struct {
 	cfg     Config
 	backend Backend

@@ -93,6 +93,23 @@ func (e *Estimator) InvalidateMatching(pred func(sig string) bool) int {
 // Estimate returns the estimated output size of the subtree, consulting the
 // feedback cache first.
 func (e *Estimator) Estimate(n *logical.Node) Stat {
+	return e.EstimateWith(n, nil)
+}
+
+// EstimateWith estimates like Estimate but consults the local overlay map
+// (signature -> stat) before the shared feedback cache, at every level of
+// the recursion. The overlay lets a caller cost a plan against hypothetical
+// relations — the optimizer's migrated working sets — without publishing
+// their stats into the shared cache, which keeps the what-if cost path
+// read-only and therefore safe for concurrent use: parallel costing calls
+// reusing the same temp names (ws_0, ws_1, ...) can no longer clobber each
+// other. A nil overlay makes EstimateWith identical to Estimate.
+func (e *Estimator) EstimateWith(n *logical.Node, overlay map[string]Stat) Stat {
+	if overlay != nil {
+		if s, ok := overlay[n.Signature()]; ok {
+			return s
+		}
+	}
 	if s, ok := e.Lookup(n.Signature()); ok {
 		return s
 	}
@@ -115,11 +132,11 @@ func (e *Estimator) Estimate(n *logical.Node) Stat {
 		}
 		s = Stat{Rows: base.Rows, Bytes: int64(float64(base.Bytes) * (0.1 + 0.75*frac))}
 	case logical.KindFilter:
-		child := e.Estimate(n.Children[0])
+		child := e.EstimateWith(n.Children[0], overlay)
 		sel := Selectivity(n.Pred)
 		s = scale(child, sel)
 	case logical.KindProject:
-		child := e.Estimate(n.Children[0])
+		child := e.EstimateWith(n.Children[0], overlay)
 		inCols := n.Children[0].Schema().Len()
 		frac := float64(len(n.Projs)) / float64(maxInt(inCols, 1))
 		if frac > 1.5 {
@@ -127,8 +144,8 @@ func (e *Estimator) Estimate(n *logical.Node) Stat {
 		}
 		s = Stat{Rows: child.Rows, Bytes: int64(float64(child.Bytes) * frac)}
 	case logical.KindJoin:
-		l := e.Estimate(n.Children[0])
-		r := e.Estimate(n.Children[1])
+		l := e.EstimateWith(n.Children[0], overlay)
+		r := e.EstimateWith(n.Children[1], overlay)
 		// Foreign-key style heuristic: output near the larger input.
 		rows := maxInt64(l.Rows, r.Rows)
 		if n.JoinType == logical.JoinLeft && l.Rows > rows {
@@ -137,7 +154,7 @@ func (e *Estimator) Estimate(n *logical.Node) Stat {
 		width := l.AvgRowBytes() + r.AvgRowBytes()
 		s = Stat{Rows: rows, Bytes: rows * maxInt64(width, 8)}
 	case logical.KindAggregate:
-		child := e.Estimate(n.Children[0])
+		child := e.EstimateWith(n.Children[0], overlay)
 		var rows int64 = 1
 		if len(n.GroupBy) > 0 {
 			// Group count grows sublinearly with input size.
@@ -152,12 +169,12 @@ func (e *Estimator) Estimate(n *logical.Node) Stat {
 		width := int64(16 * (len(n.GroupBy) + len(n.Aggs)))
 		s = Stat{Rows: rows, Bytes: rows * width}
 	case logical.KindDistinct:
-		child := e.Estimate(n.Children[0])
+		child := e.EstimateWith(n.Children[0], overlay)
 		s = scale(child, 0.5)
 	case logical.KindSort:
-		s = e.Estimate(n.Children[0])
+		s = e.EstimateWith(n.Children[0], overlay)
 	case logical.KindLimit:
-		child := e.Estimate(n.Children[0])
+		child := e.EstimateWith(n.Children[0], overlay)
 		rows := minInt64(int64(n.LimitN), child.Rows)
 		s = Stat{Rows: rows, Bytes: rows * maxInt64(child.AvgRowBytes(), 8)}
 	case logical.KindViewScan:

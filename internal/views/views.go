@@ -172,7 +172,10 @@ type Match struct {
 	OutCols []string
 }
 
-// MatchNode reports whether v can answer node n and how.
+// MatchNode reports whether v can answer node n and how. It reads the node
+// and view without mutating either, so it is safe to call concurrently once
+// node signatures have been computed (Signature memoizes lazily; see
+// logical.Node.PrewarmSignatures).
 func MatchNode(n *logical.Node, v *View) (*Match, bool) {
 	if n.Signature() == v.Sig {
 		return &Match{View: v, Exact: true}, true
@@ -180,7 +183,16 @@ func MatchNode(n *logical.Node, v *View) (*Match, bool) {
 	if v.ExactOnly {
 		return nil, false
 	}
-	nd := logical.Describe(n)
+	return MatchDescriptor(logical.Describe(n), v)
+}
+
+// MatchDescriptor matches a precomputed node descriptor against a view's
+// subsumption descriptor. Callers that probe many views against the same
+// node (the tuner's what-if loop) describe the node once and reuse the
+// descriptor, instead of re-walking the plan per view. ExactOnly views and
+// exact signature matches are the caller's to handle: this is subsumption
+// only.
+func MatchDescriptor(nd *logical.Descriptor, v *View) (*Match, bool) {
 	if !nd.Simple || !v.Desc.Simple {
 		return nil, false
 	}
@@ -240,6 +252,39 @@ func (m *Match) Rewrite() (*logical.Node, error) {
 	return node, nil
 }
 
+// MatchMemo caches MatchNode outcomes keyed by (node signature, view
+// name). A node's signature fully determines its descriptor, and a view
+// is immutable after creation, so the match outcome is a pure function of
+// the key — the memo only avoids re-describing and re-checking, never
+// changes a result. Safe for concurrent use (sync.Map); share one memo
+// across every hypothetical design of a tuning phase so repeated probes
+// of the same (subtree, view) pair match once.
+type MatchMemo struct {
+	m sync.Map // matchMemoKey -> *Match (nil = no match)
+}
+
+type matchMemoKey struct {
+	sig  string
+	view string
+}
+
+// NewMatchMemo returns an empty match memo.
+func NewMatchMemo() *MatchMemo { return &MatchMemo{} }
+
+func (mm *MatchMemo) match(n *logical.Node, v *View) (*Match, bool) {
+	key := matchMemoKey{sig: n.Signature(), view: v.Name}
+	if e, ok := mm.m.Load(key); ok {
+		m := e.(*Match)
+		return m, m != nil
+	}
+	m, ok := MatchNode(n, v)
+	if !ok {
+		m = nil
+	}
+	mm.m.Store(key, m)
+	return m, ok
+}
+
 // Set is a named collection of views (one store's design). The zero value
 // is not usable; use NewSet. The set's membership is internally locked, so
 // concurrent observers (serving-layer metrics, soak probes) can read it
@@ -249,6 +294,10 @@ func (m *Match) Rewrite() (*logical.Node, error) {
 type Set struct {
 	mu     sync.RWMutex
 	byName map[string]*View
+
+	// memo, when installed with UseMemo, caches match outcomes across
+	// BestMatch calls (and across sets sharing the memo).
+	memo *MatchMemo
 }
 
 // NewSet returns an empty set.
@@ -325,12 +374,47 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Reset empties the set in place. Unlike reassigning a store's Views field
+// to a fresh Set, this keeps the Set pointer stable, so concurrent readers
+// holding the store never observe a torn pointer swap.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byName = map[string]*View{}
+}
+
+// ReplaceAll swaps the set's contents for src's (views shared, src left
+// unchanged). Like Reset, it mutates in place so the Set pointer held by
+// concurrent readers stays valid across a design swap. ReplaceAll(s) is a
+// no-op.
+func (s *Set) ReplaceAll(src *Set) {
+	if s == src {
+		return
+	}
+	next := map[string]*View{}
+	if src != nil {
+		src.mu.RLock()
+		for _, v := range src.byName {
+			next[v.Name] = v
+		}
+		src.mu.RUnlock()
+	}
+	s.mu.Lock()
+	s.byName = next
+	s.mu.Unlock()
+}
+
+// UseMemo installs a shared match memo consulted by BestMatch. Install at
+// construction time, before the set is visible to other goroutines; the
+// tuner's what-if designs share one memo per tuning phase.
+func (s *Set) UseMemo(mm *MatchMemo) { s.memo = mm }
+
 // BestMatch finds the highest-value view in the set that answers n,
 // preferring exact matches, then the smallest view (cheapest to read).
 func (s *Set) BestMatch(n *logical.Node) (*Match, bool) {
 	var best *Match
 	for _, v := range s.All() {
-		m, ok := MatchNode(n, v)
+		m, ok := s.matchNode(n, v)
 		if !ok {
 			continue
 		}
@@ -339,6 +423,13 @@ func (s *Set) BestMatch(n *logical.Node) (*Match, bool) {
 		}
 	}
 	return best, best != nil
+}
+
+func (s *Set) matchNode(n *logical.Node, v *View) (*Match, bool) {
+	if s.memo != nil {
+		return s.memo.match(n, v)
+	}
+	return MatchNode(n, v)
 }
 
 func better(a, b *Match) bool {

@@ -14,6 +14,7 @@
 package miso
 
 import (
+	"miso/internal/core"
 	"miso/internal/data"
 	"miso/internal/durability"
 	"miso/internal/faults"
@@ -49,6 +50,13 @@ const (
 
 // Config is the full system configuration.
 type Config = multistore.Config
+
+// TunerConfig holds the MISO tuner's budgets and knobs (Config.Tuner).
+// TunerConfig.TuneWorkers bounds the worker pool the tuner fans what-if
+// cost probes across during reorganization; any worker count — including
+// the serial default — produces byte-identical designs, only tuning
+// wall-clock changes.
+type TunerConfig = core.Config
 
 // System is a running multistore instance.
 type System = multistore.System
