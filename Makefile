@@ -4,16 +4,17 @@ GO ?= go
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite under the race detector, and explicit runs of the
-# concurrent-serving soak, the crash-recovery regression, and the
-# parallel-tuning determinism and concurrent what-if costing regressions
-# (all race-enabled).
+# concurrent-serving soak, the crash-recovery regression, the
+# parallel-tuning determinism and concurrent what-if costing regressions,
+# and the morsel-engine determinism regressions (all race-enabled).
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun|TestConcurrentWhatIfCostingDuringSoak' -count 1 ./internal/serve/
-	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem|TestStateDigestIdenticalAcrossTuneWorkers' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem|TestStateDigestIdenticalAcrossTuneWorkers|TestStateDigestIdenticalAcrossExecWorkers' -count 1 ./internal/multistore/
 	$(GO) test -race -run 'TestTuneDeterministicAcrossWorkerCounts' -count 1 ./internal/core/
+	$(GO) test -race -run 'TestMorselEngineByteIdenticalToSerial|TestMorselEngineFullWorkloadDigest|TestSortFullRowTieBreak' -count 1 ./internal/exec/
 
 build:
 	$(GO) build ./...
@@ -27,12 +28,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the reproducible benchmark pipeline (tuner what-if costing
-# at several worker counts against the in-repo BaselineCosting path, the
-# knapsack DP, and a short serving soak) and writes the machine-readable
-# report CI uploads as an artifact, then the package micro-benchmarks.
+# bench runs the reproducible benchmark pipelines — the tuner pipeline
+# (what-if costing at several worker counts against the in-repo
+# BaselineCosting path, the knapsack DP, a short serving soak) and the
+# exec pipeline (morsel engine vs the legacy serial engine, per operator
+# and end-to-end, digest-checked) — writing the machine-readable reports
+# CI uploads as artifacts, then the package micro-benchmarks.
 bench:
 	$(GO) run ./cmd/misobench -bench -scale small -benchout BENCH_tuner.json
+	$(GO) run ./cmd/misobench -benchexec -scale small -benchexecout BENCH_exec.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/multistore/
 
 chaos:

@@ -12,6 +12,7 @@
 //	misobench -crash            # crash-recovery sweep (durability extension)
 //	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
 //	misobench -bench -scale small -benchout BENCH_tuner.json  # benchmark pipeline
+//	misobench -benchexec -scale small -benchexecout BENCH_exec.json  # exec engine benchmarks
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whatever experiments the invocation runs (see README.md).
@@ -47,7 +48,10 @@ func main() {
 	reorgEvery := flag.Int("reorgevery", 0, "soak: force an online reorganization every n submissions (0 disables)")
 	bench := flag.Bool("bench", false, "run the benchmark pipeline (tuner, knapsack, serving; not part of -all)")
 	benchOut := flag.String("benchout", "", "benchmark pipeline: also write the machine-readable JSON report to this file")
+	benchExec := flag.Bool("benchexec", false, "run the exec benchmark pipeline (morsel engine vs serial baseline; not part of -all)")
+	benchExecOut := flag.String("benchexecout", "", "exec benchmark pipeline: also write the machine-readable JSON report to this file")
 	tuneWorkers := flag.Int("tuneworkers", 0, "tuner what-if worker pool size for all experiments (<= 1 keeps costing serial)")
+	execWorkers := flag.Int("execworkers", 0, "execution engine for all experiments: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -59,6 +63,7 @@ func main() {
 	cfg.FaultRate = *faultRate
 	cfg.FaultSeed = *faultSeed
 	cfg.TuneWorkers = *tuneWorkers
+	cfg.ExecWorkers = *execWorkers
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -112,6 +117,9 @@ func main() {
 	}
 	if *bench {
 		targets["bench"] = true
+	}
+	if *benchExec {
+		targets["benchexec"] = true
 	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
@@ -249,6 +257,25 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		return nil
+	})
+	run("benchexec", func() error {
+		r, err := experiments.BenchExec(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		if *benchExecOut != "" {
+			f, err := os.Create(*benchExecOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := r.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchExecOut)
 		}
 		return nil
 	})

@@ -33,6 +33,7 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 disables; abandoned work is charged to RECOVERY)")
 	ckptEvery := flag.Int("checkpointevery", 0, "journal design mutations and checkpoint full state every n operations (0 disables the durability plane)")
+	execWorkers := flag.Int("execworkers", 0, "execution engine: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	flag.Parse()
 
 	query := *sql
@@ -57,6 +58,7 @@ func main() {
 	sysCfg.Faults = miso.UniformFaults(*faultRate)
 	sysCfg.FaultSeed = *faultSeed
 	sysCfg.CheckpointEvery = *ckptEvery
+	sysCfg.ExecWorkers = *execWorkers
 	sys, err := miso.Open(sysCfg, dataCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -92,6 +94,11 @@ func main() {
 		fmt.Print(mp.Explain())
 		fmt.Println()
 	}
+
+	// Per-operator wall-clock counters for this query alone: attached
+	// after warmup so the breakdown covers only the measured run.
+	st := &miso.ExecStats{}
+	sys.SetExecStats(st)
 
 	// The query goes through the serving frontend (one worker, so the
 	// execution itself is identical to sys.Run) to get deadline
@@ -142,6 +149,10 @@ func main() {
 	if mgr := sys.Durability(); mgr != nil {
 		fmt.Printf("durability: %d WAL records (%d bytes), %d checkpoints\n",
 			mgr.WAL().Records(), mgr.WAL().LSN(), mgr.Checkpoints())
+	}
+	if len(st.Breakdown()) > 0 {
+		fmt.Println("operator wall clock:")
+		st.WriteBreakdown(os.Stdout)
 	}
 
 	if rep.Result != nil {

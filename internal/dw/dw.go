@@ -43,6 +43,11 @@ type Config struct {
 	// IndexSelectivityFloor bounds how much an index scan can skip; the
 	// loader builds an index on each permanent view's leading column.
 	IndexSelectivityFloor float64
+	// ExecWorkers selects the execution engine (exec.Env.Workers
+	// semantics): 0 runs the morsel engine with GOMAXPROCS workers (the
+	// default), n > 0 bounds the pool, and exec.SerialWorkers selects the
+	// legacy serial engine. Results are byte-identical at every setting.
+	ExecWorkers int
 }
 
 // DefaultConfig matches the paper's 9-node commercial parallel row store.
@@ -67,8 +72,9 @@ type Result struct {
 // locked itself, and reassignment of the Views field is serialized by the
 // multistore system's mutex.
 type Store struct {
-	cfg Config
-	est *stats.Estimator
+	cfg       Config
+	est       *stats.Estimator
+	execStats *exec.Stats
 
 	// Views is the permanent table space: the DW side of the multistore
 	// design.
@@ -116,6 +122,10 @@ func (s *Store) Resolve(name string) (*storage.Table, error) {
 	return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 }
 
+// SetExecStats attaches a per-operator timing collector to every Env this
+// store hands out (nil detaches).
+func (s *Store) SetExecStats(st *exec.Stats) { s.execStats = st }
+
 // Env returns the execution environment. DW has no raw logs: plans must
 // bottom out in ViewScans over permanent views or staged temp tables.
 func (s *Store) Env() *exec.Env {
@@ -124,6 +134,8 @@ func (s *Store) Env() *exec.Env {
 			return nil, fmt.Errorf("%w: cannot scan raw log %q", ErrNoBaseLogs, name)
 		},
 		ReadView: s.Resolve,
+		Workers:  s.cfg.ExecWorkers,
+		Stats:    s.execStats,
 	}
 }
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"miso/internal/expr"
@@ -20,6 +21,93 @@ type aggState struct {
 	seenAny  bool
 }
 
+func newAggStates(aggs []logical.AggSpec) []*aggState {
+	states := make([]*aggState, len(aggs))
+	for i, a := range aggs {
+		states[i] = &aggState{isInt: true}
+		if a.Distinct {
+			states[i].distinct = map[string]bool{}
+		}
+	}
+	return states
+}
+
+// accumulateRow feeds one input row into a group's states. Both engines
+// call it with rows in global input order, so per-group accumulation —
+// including float SUM/AVG association — is identical between them.
+func accumulateRow(aggs []logical.AggSpec, states []*aggState, argEvals []expr.Compiled, row storage.Row) {
+	for i, a := range aggs {
+		st := states[i]
+		if a.Star {
+			st.count++
+			continue
+		}
+		v := argEvals[i](row)
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			dk := v.String()
+			if st.distinct[dk] {
+				continue
+			}
+			st.distinct[dk] = true
+		}
+		st.count++
+		if f, ok := v.AsFloat(); ok {
+			st.sum += f
+			if i64, ok := v.AsInt(); ok && v.Kind == storage.KindInt {
+				st.sumInt += i64
+			} else {
+				st.isInt = false
+			}
+		} else {
+			st.isInt = false
+		}
+		if !st.seenAny {
+			st.min, st.max = v, v
+			st.seenAny = true
+		} else {
+			if storage.Compare(v, st.min) < 0 {
+				st.min = v
+			}
+			if storage.Compare(v, st.max) > 0 {
+				st.max = v
+			}
+		}
+	}
+}
+
+func compileAggArgs(n *logical.Node, schema *storage.Schema) ([]expr.Compiled, error) {
+	argEvals := make([]expr.Compiled, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		argEvals[i] = c
+	}
+	return argEvals, nil
+}
+
+// emptyGlobalAggRow handles a global aggregate over an empty input, which
+// still yields one row.
+func emptyGlobalAggRow(n *logical.Node, out *storage.Table) *storage.Table {
+	row := make(storage.Row, n.Schema().Len())
+	for i, a := range n.Aggs {
+		if a.Func == "COUNT" {
+			row[i] = storage.IntValue(0)
+		} else {
+			row[i] = storage.Null
+		}
+	}
+	out.MustAppend(row)
+	return out
+}
+
 func runAggregate(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 	groupEvals := make([]expr.Compiled, len(n.GroupBy))
 	for i, g := range n.GroupBy {
@@ -29,16 +117,9 @@ func runAggregate(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 		}
 		groupEvals[i] = c
 	}
-	argEvals := make([]expr.Compiled, len(n.Aggs))
-	for i, a := range n.Aggs {
-		if a.Star {
-			continue
-		}
-		c, err := expr.Compile(a.Arg, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		argEvals[i] = c
+	argEvals, err := compileAggArgs(n, in.Schema)
+	if err != nil {
+		return nil, err
 	}
 
 	type group struct {
@@ -60,74 +141,133 @@ func runAggregate(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 		k := keyBuf.String()
 		grp, ok := groups[k]
 		if !ok {
-			grp = &group{key: keyVals, states: make([]*aggState, len(n.Aggs))}
-			for i, a := range n.Aggs {
-				grp.states[i] = &aggState{isInt: true}
-				if a.Distinct {
-					grp.states[i].distinct = map[string]bool{}
-				}
-			}
+			grp = &group{key: keyVals, states: newAggStates(n.Aggs)}
 			groups[k] = grp
 			order = append(order, k)
 		}
-		for i, a := range n.Aggs {
-			st := grp.states[i]
-			if a.Star {
-				st.count++
-				continue
-			}
-			v := argEvals[i](row)
-			if v.IsNull() {
-				continue
-			}
-			if a.Distinct {
-				dk := v.String()
-				if st.distinct[dk] {
-					continue
-				}
-				st.distinct[dk] = true
-			}
-			st.count++
-			if f, ok := v.AsFloat(); ok {
-				st.sum += f
-				if i64, ok := v.AsInt(); ok && v.Kind == storage.KindInt {
-					st.sumInt += i64
-				} else {
-					st.isInt = false
-				}
-			} else {
-				st.isInt = false
-			}
-			if !st.seenAny {
-				st.min, st.max = v, v
-				st.seenAny = true
-			} else {
-				if storage.Compare(v, st.min) < 0 {
-					st.min = v
-				}
-				if storage.Compare(v, st.max) > 0 {
-					st.max = v
-				}
-			}
-		}
+		accumulateRow(n.Aggs, grp.states, argEvals, row)
 	}
 
 	out := newOutput(n, in)
-	// A global aggregate over an empty input still yields one row.
 	if len(order) == 0 && len(n.GroupBy) == 0 {
-		row := make(storage.Row, n.Schema().Len())
-		for i, a := range n.Aggs {
-			if a.Func == "COUNT" {
-				row[i] = storage.IntValue(0)
-			} else {
-				row[i] = storage.Null
-			}
-		}
-		out.MustAppend(row)
-		return out, nil
+		return emptyGlobalAggRow(n, out), nil
 	}
 	for _, k := range order {
 		grp := groups[k]
+		row := make(storage.Row, 0, n.Schema().Len())
+		row = append(row, grp.key...)
+		for i, a := range n.Aggs {
+			v, err := finishAgg(a, grp.states[i])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.MustAppend(row)
+	}
+	return out, nil
+}
+
+// runAggregateMorsel is the morsel engine's hash aggregation, in three
+// phases. Phase 1 evaluates the group expressions once per row (in
+// parallel morsels), caching key values and bucketing rows by key hash
+// into a fixed number of partitions. Phase 2 runs the partitions in
+// parallel; each partition visits its rows in global input order, so every
+// group accumulates exactly as it would serially — float sums associate
+// identically. Phase 3 merges groups ordered by first-seen input row,
+// recovering the serial engine's first-seen output order.
+func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	workers := env.workerCount()
+	mr := env.morselRows()
+	nG := len(n.GroupBy)
+
+	type evalSet struct {
+		groups []expr.Compiled
+		args   []expr.Compiled
+	}
+	sets := make([]evalSet, workers)
+	for w := 0; w < workers; w++ {
+		groups := make([]expr.Compiled, nG)
+		for i, g := range n.GroupBy {
+			c, err := expr.Compile(g.Expr, in.Schema)
+			if err != nil {
+				return nil, err
+			}
+			groups[i] = c
+		}
+		args, err := compileAggArgs(n, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		sets[w] = evalSet{groups: groups, args: args}
+	}
+
+	nRows := len(in.Rows)
+	keyVals := make([]storage.Value, nRows*nG)
+	buckets := make([]rowBuckets, morselCount(nRows, mr))
+	forEachMorsel(workers, nRows, mr, func(w, m, start, end int) {
+		evals := sets[w].groups
+		var b rowBuckets
+		for i := start; i < end; i++ {
+			h := storage.HashSeed
+			kv := keyVals[i*nG : i*nG+nG]
+			for g, ev := range evals {
+				kv[g] = ev(in.Rows[i])
+				h = kv[g].HashInto(h)
+			}
+			p := int(h & (partitions - 1))
+			b[p] = append(b[p], int32(i))
+		}
+		buckets[m] = b
+	})
+
+	type group struct {
+		key    storage.Row
+		states []*aggState
+		first  int32
+	}
+	parts := make([][]*group, partitions)
+	forEachTask(workers, partitions, func(w, p int) {
+		args := sets[w].args
+		m := make(map[string]*group)
+		var keyBuf []byte
+		var local []*group
+		for _, b := range buckets {
+			for _, i := range b[p] {
+				row := in.Rows[i]
+				kv := keyVals[int(i)*nG : int(i)*nG+nG]
+				keyBuf = keyBuf[:0]
+				for _, v := range kv {
+					keyBuf = appendValueKey(keyBuf, v)
+					keyBuf = append(keyBuf, 0)
+				}
+				grp := m[string(keyBuf)]
+				if grp == nil {
+					grp = &group{
+						key:    append(storage.Row(nil), kv...),
+						states: newAggStates(n.Aggs),
+						first:  i,
+					}
+					m[string(keyBuf)] = grp
+					local = append(local, grp)
+				}
+				accumulateRow(n.Aggs, grp.states, args, row)
+			}
+		}
+		parts[p] = local
+	})
+
+	var all []*group
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].first < all[b].first })
+
+	out := newOutput(n, in)
+	if len(all) == 0 && nG == 0 {
+		return emptyGlobalAggRow(n, out), nil
+	}
+	for _, grp := range all {
 		row := make(storage.Row, 0, n.Schema().Len())
 		row = append(row, grp.key...)
 		for i, a := range n.Aggs {

@@ -11,18 +11,35 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"miso/internal/expr"
 	"miso/internal/logical"
 	"miso/internal/storage"
 )
 
-// Env resolves plan leaves to stored data.
+// Env resolves plan leaves to stored data and selects the execution
+// engine.
 type Env struct {
 	// ReadLog returns the raw log for a Scan leaf.
 	ReadLog func(name string) (*storage.LogFile, error)
 	// ReadView returns the materialized table for a ViewScan leaf.
 	ReadView func(name string) (*storage.Table, error)
+	// Workers selects the engine and its parallelism:
+	//
+	//	< 0 (SerialWorkers) — the legacy row-at-a-time serial engine,
+	//	      kept as the benchmark baseline;
+	//	  0 — the morsel engine with GOMAXPROCS workers (the default);
+	//	  n — the morsel engine with n workers.
+	//
+	// Outputs are byte-identical across every setting.
+	Workers int
+	// MorselRows overrides the fixed morsel size (DefaultMorselRows when
+	// zero). Morsel boundaries affect scheduling only, never results.
+	MorselRows int
+	// Stats, when non-nil, accumulates per-operator wall-clock timings
+	// across every node this Env runs.
+	Stats *Stats
 }
 
 // Run executes the whole subtree and returns its result.
@@ -46,10 +63,28 @@ func Run(n *logical.Node, env *Env) (*storage.Table, error) {
 // RunNode executes a single operator given its children's outputs. Extract
 // and ViewScan resolve their data through env and ignore inputs.
 func RunNode(n *logical.Node, env *Env, inputs []*storage.Table) (*storage.Table, error) {
+	if env.Stats == nil {
+		return runNode(n, env, inputs)
+	}
+	start := time.Now()
+	t, err := runNode(n, env, inputs)
+	rows := 0
+	if t != nil {
+		rows = len(t.Rows)
+	}
+	env.Stats.record(n.Kind, rows, time.Since(start))
+	return t, err
+}
+
+func runNode(n *logical.Node, env *Env, inputs []*storage.Table) (*storage.Table, error) {
+	par := env.parallel()
 	switch n.Kind {
 	case logical.KindScan:
 		return nil, fmt.Errorf("exec: bare Scan cannot execute; it is consumed by Extract")
 	case logical.KindExtract:
+		if par {
+			return runExtractMorsel(n, env)
+		}
 		return runExtract(n, env)
 	case logical.KindViewScan:
 		if env.ReadView == nil {
@@ -57,16 +92,34 @@ func RunNode(n *logical.Node, env *Env, inputs []*storage.Table) (*storage.Table
 		}
 		return env.ReadView(n.ViewName)
 	case logical.KindFilter:
+		if par {
+			return runFilterMorsel(n, env, inputs[0])
+		}
 		return runFilter(n, inputs[0])
 	case logical.KindProject:
+		if par {
+			return runProjectMorsel(n, env, inputs[0])
+		}
 		return runProject(n, inputs[0])
 	case logical.KindJoin:
+		if par {
+			return runJoinMorsel(n, env, inputs[0], inputs[1])
+		}
 		return runJoin(n, inputs[0], inputs[1])
 	case logical.KindAggregate:
+		if par {
+			return runAggregateMorsel(n, env, inputs[0])
+		}
 		return runAggregate(n, inputs[0])
 	case logical.KindDistinct:
+		if par {
+			return runDistinctMorsel(n, env, inputs[0])
+		}
 		return runDistinct(n, inputs[0])
 	case logical.KindSort:
+		if par {
+			return runSortMorsel(n, env, inputs[0])
+		}
 		return runSort(n, inputs[0])
 	case logical.KindLimit:
 		return runLimit(n, inputs[0]), nil
@@ -217,20 +270,28 @@ func runProject(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 	return out, nil
 }
 
-func runJoin(n *logical.Node, left, right *storage.Table) (*storage.Table, error) {
-	lIdx := make([]int, len(n.LeftKeys))
+func joinKeyIndexes(n *logical.Node, left, right *storage.Table) (lIdx, rIdx []int, err error) {
+	lIdx = make([]int, len(n.LeftKeys))
 	for i, k := range n.LeftKeys {
 		lIdx[i] = left.Schema.Index(k)
 		if lIdx[i] < 0 {
-			return nil, fmt.Errorf("exec: left join key %q missing from %s", k, left.Schema)
+			return nil, nil, fmt.Errorf("exec: left join key %q missing from %s", k, left.Schema)
 		}
 	}
-	rIdx := make([]int, len(n.RightKeys))
+	rIdx = make([]int, len(n.RightKeys))
 	for i, k := range n.RightKeys {
 		rIdx[i] = right.Schema.Index(k)
 		if rIdx[i] < 0 {
-			return nil, fmt.Errorf("exec: right join key %q missing from %s", k, right.Schema)
+			return nil, nil, fmt.Errorf("exec: right join key %q missing from %s", k, right.Schema)
 		}
+	}
+	return lIdx, rIdx, nil
+}
+
+func runJoin(n *logical.Node, left, right *storage.Table) (*storage.Table, error) {
+	lIdx, rIdx, err := joinKeyIndexes(n, left, right)
+	if err != nil {
+		return nil, err
 	}
 	// Build on the right input.
 	build := make(map[uint64][]storage.Row, len(right.Rows))
@@ -268,13 +329,16 @@ func runJoin(n *logical.Node, left, right *storage.Table) (*storage.Table, error
 	return out, nil
 }
 
+// hashKeys folds the key columns into one running FNV-64a state via
+// Value.HashInto — no per-row string formatting or allocations. Rows with a
+// NULL key return false: NULL keys never match.
 func hashKeys(row storage.Row, idx []int) (uint64, bool) {
-	var h uint64 = 1469598103934665603
+	h := storage.HashSeed
 	for _, i := range idx {
 		if row[i].IsNull() {
 			return 0, false
 		}
-		h = h*1099511628211 ^ row[i].Hash()
+		h = row[i].HashInto(h)
 	}
 	return h, true
 }
@@ -329,7 +393,10 @@ func runSort(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 				return c < 0
 			}
 		}
-		return false
+		// Full-row tie-break: equal-key orderings must not depend on how
+		// rows happened to arrive, or they would drift between engines.
+		// Fully identical rows fall through to stable input order.
+		return compareRowsFull(out.Rows[i], out.Rows[j]) < 0
 	})
 	// Rows were copied, not appended; recompute the byte accounting.
 	rebuilt := newOutput(n, in)
@@ -337,6 +404,17 @@ func runSort(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 		rebuilt.MustAppend(r)
 	}
 	return rebuilt, nil
+}
+
+// compareRowsFull orders two rows of the same schema column-wise; it is the
+// sort tie-break shared by both engines.
+func compareRowsFull(a, b storage.Row) int {
+	for i := range a {
+		if c := storage.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 func runLimit(n *logical.Node, in *storage.Table) *storage.Table {

@@ -1,0 +1,133 @@
+// Morsel-driven scheduling: operator inputs are partitioned into fixed-size
+// row-range morsels that a bounded worker pool pulls off a shared atomic
+// counter (work stealing at morsel granularity). Morsel boundaries depend
+// only on the input size and the configured morsel size — never on the
+// worker count — so per-morsel partial results can be merged in a fixed
+// order and the engine's output is byte-identical at any parallelism.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SerialWorkers is the Env.Workers setting that selects the legacy
+// row-at-a-time serial engine. It is the in-repo baseline the benchmark
+// pipeline measures the morsel engine against.
+const SerialWorkers = -1
+
+// DefaultMorselRows is the fixed morsel size: large enough that the atomic
+// fetch and goroutine handoff amortize to nothing, small enough that a
+// skewed morsel cannot stall the pool at the end of an operator.
+const DefaultMorselRows = 1024
+
+// workerCount resolves Env.Workers to a pool size (0 means GOMAXPROCS).
+// Only meaningful when the morsel engine is selected (Workers >= 0).
+func (env *Env) workerCount() int {
+	w := env.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (env *Env) morselRows() int {
+	if env.MorselRows > 0 {
+		return env.MorselRows
+	}
+	return DefaultMorselRows
+}
+
+// parallel reports whether the morsel engine is selected.
+func (env *Env) parallel() bool { return env.Workers >= 0 }
+
+// morselCount returns how many morsels cover n rows.
+func morselCount(n, morselRows int) int {
+	return (n + morselRows - 1) / morselRows
+}
+
+// forEachMorsel partitions [0, n) into fixed-size row ranges and fans them
+// out over the worker pool. fn receives the worker index (so callers can
+// keep per-worker scratch state such as compiled evaluators), the morsel
+// index, and the half-open row range. With one worker — or one morsel —
+// everything runs inline on the calling goroutine.
+func forEachMorsel(workers, n, morselRows int, fn func(w, m, start, end int)) {
+	morsels := morselCount(n, morselRows)
+	if morsels == 0 {
+		return
+	}
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			start, end := morselRange(m, n, morselRows)
+			fn(0, m, start, end)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				start, end := morselRange(m, n, morselRows)
+				fn(w, m, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func morselRange(m, n, morselRows int) (start, end int) {
+	start = m * morselRows
+	end = start + morselRows
+	if end > n {
+		end = n
+	}
+	return start, end
+}
+
+// forEachTask runs n independent tasks (hash-partition builds, partition
+// accumulation) over the worker pool. fn receives the worker index and the
+// task index.
+func forEachTask(workers, n int, fn func(w, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

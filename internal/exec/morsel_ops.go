@@ -1,0 +1,310 @@
+// Morsel-engine operators. Every operator here carries the same
+// determinism contract: its output is byte-identical to the legacy serial
+// operator at any worker count and any morsel size. Filter/Project merge
+// per-morsel buffers in morsel order; Join partitions its build side by key
+// hash but keeps every per-key row list in build-input order; Distinct and
+// Sort recover the serial order from recorded input positions.
+package exec
+
+import (
+	"sort"
+	"strconv"
+
+	"miso/internal/expr"
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+// partitions is the fixed fan-out of the partitioned hash Join, Aggregate
+// and Distinct. It is a power of two so partition assignment is a mask, and
+// it is independent of the worker count so results cannot drift with
+// parallelism.
+const partitions = 16
+
+// compileWorkers compiles e once per worker (Compiled evaluators are
+// single-goroutine).
+func compileWorkers(e expr.Expr, schema *storage.Schema, workers int) ([]expr.Compiled, error) {
+	out := make([]expr.Compiled, workers)
+	for w := 0; w < workers; w++ {
+		c, err := expr.Compile(e, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = c
+	}
+	return out, nil
+}
+
+func appendChunks(out *storage.Table, chunks [][]storage.Row) *storage.Table {
+	for _, c := range chunks {
+		for _, r := range c {
+			out.MustAppend(r)
+		}
+	}
+	return out
+}
+
+func runFilterMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	workers := env.workerCount()
+	preds, err := compileWorkers(n.Pred, in.Schema, workers)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
+	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) {
+		pred := preds[w]
+		var buf []storage.Row
+		for _, row := range in.Rows[start:end] {
+			if v := pred(row); !v.IsNull() && v.Bool() {
+				buf = append(buf, row)
+			}
+		}
+		chunks[m] = buf
+	})
+	return appendChunks(newOutput(n, in), chunks), nil
+}
+
+func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	workers := env.workerCount()
+	workerEvals := make([][]expr.Compiled, workers)
+	for w := 0; w < workers; w++ {
+		evals := make([]expr.Compiled, len(n.Projs))
+		for i, p := range n.Projs {
+			c, err := expr.Compile(p.Expr, in.Schema)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = c
+		}
+		workerEvals[w] = evals
+	}
+	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
+	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) {
+		evals := workerEvals[w]
+		buf := make([]storage.Row, 0, end-start)
+		for _, row := range in.Rows[start:end] {
+			nr := make(storage.Row, len(evals))
+			for i, e := range evals {
+				nr[i] = e(row)
+			}
+			buf = append(buf, nr)
+		}
+		chunks[m] = buf
+	})
+	return appendChunks(newOutput(n, in), chunks), nil
+}
+
+// rowBuckets records, per morsel, which row indexes land in each hash
+// partition. Concatenating one partition's lists across morsels (morsels
+// are input-ordered) visits that partition's rows in global input order.
+type rowBuckets [partitions][]int32
+
+func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*storage.Table, error) {
+	lIdx, rIdx, err := joinKeyIndexes(n, left, right)
+	if err != nil {
+		return nil, err
+	}
+	workers := env.workerCount()
+	mr := env.morselRows()
+
+	// Phase 1: hash both sides in parallel, bucketing the build side.
+	rHash := make([]uint64, len(right.Rows))
+	rBuckets := make([]rowBuckets, morselCount(len(right.Rows), mr))
+	forEachMorsel(workers, len(right.Rows), mr, func(_, m, start, end int) {
+		var b rowBuckets
+		for i := start; i < end; i++ {
+			h, ok := hashKeys(right.Rows[i], rIdx)
+			if !ok {
+				continue // NULL keys never match
+			}
+			rHash[i] = h
+			p := int(h & (partitions - 1))
+			b[p] = append(b[p], int32(i))
+		}
+		rBuckets[m] = b
+	})
+	lHash := make([]uint64, len(left.Rows))
+	lOK := make([]bool, len(left.Rows))
+	forEachMorsel(workers, len(left.Rows), mr, func(_, _, start, end int) {
+		for i := start; i < end; i++ {
+			lHash[i], lOK[i] = hashKeys(left.Rows[i], lIdx)
+		}
+	})
+
+	// Phase 2: per-partition builds. Each partition walks its bucket lists
+	// in morsel order, so every per-key row list is in build-input order —
+	// exactly the order the serial build produces.
+	builds := make([]map[uint64][]storage.Row, partitions)
+	forEachTask(workers, partitions, func(_, p int) {
+		m := make(map[uint64][]storage.Row)
+		for _, b := range rBuckets {
+			for _, i := range b[p] {
+				h := rHash[i]
+				m[h] = append(m[h], right.Rows[i])
+			}
+		}
+		builds[p] = m
+	})
+
+	// Phase 3: probe morsels over the left side, merged in morsel order.
+	rWidth := right.Schema.Len()
+	leftJoin := n.JoinType == logical.JoinLeft
+	chunks := make([][]storage.Row, morselCount(len(left.Rows), mr))
+	forEachMorsel(workers, len(left.Rows), mr, func(_, m, start, end int) {
+		var buf []storage.Row
+		for i := start; i < end; i++ {
+			lrow := left.Rows[i]
+			matched := false
+			if lOK[i] {
+				h := lHash[i]
+				for _, rrow := range builds[h&(partitions-1)][h] {
+					if keysEqual(lrow, rrow, lIdx, rIdx) {
+						matched = true
+						nr := make(storage.Row, 0, len(lrow)+rWidth)
+						nr = append(nr, lrow...)
+						nr = append(nr, rrow...)
+						buf = append(buf, nr)
+					}
+				}
+			}
+			if !matched && leftJoin {
+				nr := make(storage.Row, 0, len(lrow)+rWidth)
+				nr = append(nr, lrow...)
+				for j := 0; j < rWidth; j++ {
+					nr = append(nr, storage.Null)
+				}
+				buf = append(buf, nr)
+			}
+		}
+		chunks[m] = buf
+	})
+	return appendChunks(newOutput(n, left, right), chunks), nil
+}
+
+// appendValueKey appends exactly the bytes of v.String(); the byte-buffer
+// form lets group/distinct keys be built and looked up without per-row
+// string allocations (map reads on string(buf) do not allocate).
+func appendValueKey(b []byte, v storage.Value) []byte {
+	switch v.Kind {
+	case storage.KindInt:
+		return strconv.AppendInt(b, v.I, 10)
+	case storage.KindFloat:
+		return strconv.AppendFloat(b, v.F, 'g', -1, 64)
+	case storage.KindString:
+		return append(b, v.S...)
+	case storage.KindBool:
+		if v.I != 0 {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	default:
+		return append(b, "NULL"...)
+	}
+}
+
+func runDistinctMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	workers := env.workerCount()
+	mr := env.morselRows()
+	// Phase 1: hash whole rows, bucketing by partition.
+	buckets := make([]rowBuckets, morselCount(len(in.Rows), mr))
+	hashes := make([]uint64, len(in.Rows))
+	forEachMorsel(workers, len(in.Rows), mr, func(_, m, start, end int) {
+		var b rowBuckets
+		for i := start; i < end; i++ {
+			h := storage.HashSeed
+			for _, v := range in.Rows[i] {
+				h = v.HashInto(h)
+			}
+			hashes[i] = h
+			p := int(h & (partitions - 1))
+			b[p] = append(b[p], int32(i))
+		}
+		buckets[m] = b
+	})
+	// Phase 2: per-partition first-seen dedup over input-ordered buckets.
+	kept := make([][]int32, partitions)
+	forEachTask(workers, partitions, func(_, p int) {
+		seen := make(map[string]struct{})
+		var keyBuf []byte
+		var local []int32
+		for _, b := range buckets {
+			for _, i := range b[p] {
+				keyBuf = keyBuf[:0]
+				for _, v := range in.Rows[i] {
+					keyBuf = appendValueKey(keyBuf, v)
+					keyBuf = append(keyBuf, 0)
+				}
+				if _, ok := seen[string(keyBuf)]; ok {
+					continue
+				}
+				seen[string(keyBuf)] = struct{}{}
+				local = append(local, i)
+			}
+		}
+		kept[p] = local
+	})
+	// Phase 3: merge survivors by input position — global first-seen order.
+	var all []int32
+	for _, k := range kept {
+		all = append(all, k...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	out := newOutput(n, in)
+	for _, i := range all {
+		out.MustAppend(in.Rows[i])
+	}
+	return out, nil
+}
+
+func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	workers := env.workerCount()
+	nK := len(n.SortKeys)
+	workerKeys := make([][]expr.Compiled, workers)
+	for w := 0; w < workers; w++ {
+		evals := make([]expr.Compiled, nK)
+		for i, k := range n.SortKeys {
+			c, err := expr.Compile(k.Expr, in.Schema)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = c
+		}
+		workerKeys[w] = evals
+	}
+	// Precompute sort keys in parallel: n evaluations instead of the
+	// comparator's n·log n.
+	keys := make([]storage.Value, len(in.Rows)*nK)
+	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, _, start, end int) {
+		evals := workerKeys[w]
+		for i := start; i < end; i++ {
+			kv := keys[i*nK : i*nK+nK]
+			for k, ev := range evals {
+				kv[k] = ev(in.Rows[i])
+			}
+		}
+	})
+	idx := make([]int32, len(in.Rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for k := range n.SortKeys {
+			c := storage.Compare(keys[int(ia)*nK+k], keys[int(ib)*nK+k])
+			if n.SortKeys[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		// Same full-row tie-break as the serial engine; beyond it the
+		// stable sort preserves input order, matching serial exactly.
+		return compareRowsFull(in.Rows[ia], in.Rows[ib]) < 0
+	})
+	out := newOutput(n, in)
+	for _, i := range idx {
+		out.MustAppend(in.Rows[i])
+	}
+	return out, nil
+}

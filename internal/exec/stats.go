@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"miso/internal/logical"
+)
+
+const numKinds = int(logical.KindViewScan) + 1
+
+// Stats accumulates per-operator execution counters. All methods are safe
+// for concurrent use; one Stats can be shared by every Env in a system so
+// interactive tools can print where query wall-clock actually goes.
+type Stats struct {
+	ops [numKinds]opCounters
+}
+
+type opCounters struct {
+	calls atomic.Int64
+	rows  atomic.Int64
+	nanos atomic.Int64
+}
+
+func (s *Stats) record(k logical.Kind, rows int, d time.Duration) {
+	if s == nil || int(k) >= numKinds {
+		return
+	}
+	c := &s.ops[k]
+	c.calls.Add(1)
+	c.rows.Add(int64(rows))
+	c.nanos.Add(d.Nanoseconds())
+}
+
+// OpStat is one operator's aggregate timings.
+type OpStat struct {
+	// Op is the operator name (extract, filter, join, ...).
+	Op string
+	// Calls is how many operator instances ran.
+	Calls int64
+	// Rows is the total output rows across those calls.
+	Rows int64
+	// Time is the summed wall clock across those calls.
+	Time time.Duration
+}
+
+// Breakdown returns the non-empty operator rows in fixed kind order.
+func (s *Stats) Breakdown() []OpStat {
+	if s == nil {
+		return nil
+	}
+	var out []OpStat
+	for k := 0; k < numKinds; k++ {
+		c := &s.ops[k]
+		calls := c.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		out = append(out, OpStat{
+			Op:    logical.Kind(k).String(),
+			Calls: calls,
+			Rows:  c.rows.Load(),
+			Time:  time.Duration(c.nanos.Load()),
+		})
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	for k := range s.ops {
+		s.ops[k].calls.Store(0)
+		s.ops[k].rows.Store(0)
+		s.ops[k].nanos.Store(0)
+	}
+}
+
+// WriteBreakdown renders the breakdown as an aligned table.
+func (s *Stats) WriteBreakdown(w io.Writer) {
+	rows := s.Breakdown()
+	if len(rows) == 0 {
+		return
+	}
+	var total time.Duration
+	for _, r := range rows {
+		total += r.Time
+	}
+	fmt.Fprintf(w, "  %-10s %7s %10s %12s %6s\n", "operator", "calls", "rows", "time", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = float64(r.Time) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "  %-10s %7d %10d %12s %5.1f%%\n", r.Op, r.Calls, r.Rows, r.Time.Round(time.Microsecond), share)
+	}
+}

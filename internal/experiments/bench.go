@@ -31,7 +31,8 @@ import (
 type BenchRow struct {
 	// Name identifies the benchmark (e.g. "tuner/workers=4").
 	Name string `json:"name"`
-	// Workers is the tuner worker-pool size; 0 for non-tuner rows.
+	// Workers is the row's worker-pool size (tuner what-if pool for tuner
+	// rows, exec engine pool for exec rows); 0 for rows without one.
 	Workers int `json:"workers,omitempty"`
 	// Iterations is how many times the measured op ran.
 	Iterations int `json:"iterations"`
@@ -45,8 +46,15 @@ type BenchRow struct {
 	// instrumented).
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	// SpeedupVsBaseline is baseline ns/op divided by this row's ns/op
-	// (tuner rows only).
+	// (tuner and exec rows).
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// Digest is the combined FNV-64a digest of the measured run's output
+	// tables, as hex (exec rows only): equal digests mean byte-identical
+	// outputs.
+	Digest string `json:"digest,omitempty"`
+	// DigestMatchesBaseline reports that this row's outputs were
+	// byte-identical to its serial baseline's (exec rows at workers >= 1).
+	DigestMatchesBaseline bool `json:"digest_matches_baseline,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark report.

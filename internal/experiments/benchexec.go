@@ -1,0 +1,249 @@
+// Exec benchmark pipeline: reproducible measurements of the data path —
+// the morsel execution engine against the legacy serial engine, per
+// operator and end-to-end over the paper's 32-query workload — written as
+// the same machine-readable report shape as the tuner pipeline
+// (BENCH_exec.json in CI). Every parallel row's outputs are digest-checked
+// against the serial baseline's during measurement, so the report cannot
+// record a speedup from an engine that produced different answers.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/exec"
+	"miso/internal/logical"
+	"miso/internal/storage"
+	"miso/internal/workload"
+)
+
+// execWorkerCounts are the morsel-engine pool sizes the end-to-end rows
+// sweep; per-operator rows measure the midpoint (4).
+var execWorkerCounts = []int{1, 2, 4, 8}
+
+type execFixture struct {
+	cat   *storage.Catalog
+	plans []*logical.Node
+}
+
+func newExecFixture(dcfg data.Config) (*execFixture, error) {
+	cat, err := data.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	builder := logical.NewBuilder(cat)
+	f := &execFixture{cat: cat}
+	for _, q := range workload.Evolving() {
+		plan, err := builder.BuildSQL(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("benchexec: build %s: %w", q.Name, err)
+		}
+		f.plans = append(f.plans, plan)
+	}
+	return f, nil
+}
+
+func (f *execFixture) env(workers int) *exec.Env {
+	return &exec.Env{
+		ReadLog: func(name string) (*storage.LogFile, error) { return f.cat.Log(name) },
+		Workers: workers,
+	}
+}
+
+// digestTables folds table checksums into one order-sensitive digest.
+func digestTables(d uint64, t *storage.Table) uint64 {
+	return d*1099511628211 ^ storage.ChecksumTable(t)
+}
+
+// runWorkload executes every workload plan over the raw logs and returns
+// the combined output digest.
+func (f *execFixture) runWorkload(workers int) (uint64, error) {
+	env := f.env(workers)
+	d := storage.HashSeed
+	for i, plan := range f.plans {
+		out, err := exec.Run(plan, env)
+		if err != nil {
+			return 0, fmt.Errorf("benchexec: workload query %d: %w", i, err)
+		}
+		d = digestTables(d, out)
+	}
+	return d, nil
+}
+
+// opCase isolates one operator: the first node of the given kind in the
+// plan built from sql, benchmarked over its serially-precomputed inputs.
+type opCase struct {
+	name string
+	sql  string
+	kind logical.Kind
+}
+
+var execOpCases = []opCase{
+	{"extract", "SELECT tweet_id, user_id, ts, text, hashtag, lang, retweets, followers FROM tweets", logical.KindExtract},
+	{"filter", "SELECT tweet_id FROM tweets WHERE lang = 'en' AND retweets > 10", logical.KindFilter},
+	{"project", "SELECT retweets * 2 AS dbl, UPPER(lang) AS lg, SENTIMENT(text) AS s FROM tweets", logical.KindProject},
+	{"join", "SELECT t.tweet_id, c.lat FROM tweets t JOIN checkins c ON t.user_id = c.user_id", logical.KindJoin},
+	{"aggregate", "SELECT hashtag, COUNT(*) AS n, SUM(retweets) AS rt, AVG(followers) AS fl FROM tweets GROUP BY hashtag", logical.KindAggregate},
+	{"distinct", "SELECT DISTINCT lang, hashtag FROM tweets", logical.KindDistinct},
+	{"sort", "SELECT tweet_id, retweets FROM tweets ORDER BY retweets DESC", logical.KindSort},
+}
+
+func findKind(root *logical.Node, kind logical.Kind) *logical.Node {
+	var found *logical.Node
+	root.Walk(func(n *logical.Node) {
+		if found == nil && n.Kind == kind {
+			found = n
+		}
+	})
+	return found
+}
+
+// benchNode measures RunNode on one operator with the given engine and
+// returns the row plus the output digest of a representative run.
+func (f *execFixture) benchNode(name string, n *logical.Node, inputs []*storage.Table, workers int) (BenchRow, uint64, error) {
+	env := f.env(workers)
+	out, err := exec.RunNode(n, env, inputs)
+	if err != nil {
+		return BenchRow{}, 0, err
+	}
+	digest := storage.ChecksumTable(out)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.RunNode(n, env, inputs); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return BenchRow{}, 0, runErr
+	}
+	return BenchRow{
+		Name:        name,
+		Workers:     workers,
+		Iterations:  res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Digest:      fmt.Sprintf("%016x", digest),
+	}, digest, nil
+}
+
+// BenchExec runs the exec benchmark pipeline: per-operator serial-vs-
+// morsel rows at 4 workers, then the full workload end-to-end at worker
+// counts 1/2/4/8, all digest-checked against the serial baseline.
+func BenchExec(c Config) (*BenchReport, error) {
+	scale := "paper"
+	if c.Data.NumTweets == data.SmallConfig().NumTweets {
+		scale = "small"
+	}
+	rep := &BenchReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Scale:  scale,
+	}
+	f, err := newExecFixture(c.Data)
+	if err != nil {
+		return nil, err
+	}
+
+	serialEnv := f.env(exec.SerialWorkers)
+	for _, oc := range execOpCases {
+		built, err := logical.NewBuilder(f.cat).BuildSQL(oc.sql)
+		if err != nil {
+			return nil, fmt.Errorf("benchexec: build %s: %w", oc.name, err)
+		}
+		node := findKind(built, oc.kind)
+		if node == nil {
+			return nil, fmt.Errorf("benchexec: no %v node in %q", oc.kind, oc.sql)
+		}
+		// Precompute the operator's inputs once, serially; both engines
+		// then measure exactly one operator over identical inputs.
+		var inputs []*storage.Table
+		if oc.kind != logical.KindExtract {
+			for _, child := range node.Children {
+				t, err := exec.Run(child, serialEnv)
+				if err != nil {
+					return nil, fmt.Errorf("benchexec: %s inputs: %w", oc.name, err)
+				}
+				inputs = append(inputs, t)
+			}
+		}
+		base, baseDigest, err := f.benchNode("exec/"+oc.name+"/serial", node, inputs, exec.SerialWorkers)
+		if err != nil {
+			return nil, err
+		}
+		base.Workers = 0
+		base.SpeedupVsBaseline = 1
+		rep.Rows = append(rep.Rows, base)
+		row, digest, err := f.benchNode(fmt.Sprintf("exec/%s/workers=4", oc.name), node, inputs, 4)
+		if err != nil {
+			return nil, err
+		}
+		if digest != baseDigest {
+			return nil, fmt.Errorf("benchexec: %s: morsel output diverged from serial (digest %016x vs %016x)", oc.name, digest, baseDigest)
+		}
+		row.DigestMatchesBaseline = true
+		if row.NsPerOp > 0 {
+			row.SpeedupVsBaseline = float64(base.NsPerOp) / float64(row.NsPerOp)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// End-to-end: the full 32-query workload over raw logs.
+	benchWorkload := func(name string, workers int) (BenchRow, uint64, error) {
+		digest, err := f.runWorkload(workers)
+		if err != nil {
+			return BenchRow{}, 0, err
+		}
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.runWorkload(workers); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return BenchRow{}, 0, runErr
+		}
+		return BenchRow{
+			Name:        name,
+			Workers:     workers,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Digest:      fmt.Sprintf("%016x", digest),
+		}, digest, nil
+	}
+	base, baseDigest, err := benchWorkload("exec/workload/serial", exec.SerialWorkers)
+	if err != nil {
+		return nil, err
+	}
+	base.Workers = 0
+	base.SpeedupVsBaseline = 1
+	rep.Rows = append(rep.Rows, base)
+	for _, w := range execWorkerCounts {
+		row, digest, err := benchWorkload(fmt.Sprintf("exec/workload/workers=%d", w), w)
+		if err != nil {
+			return nil, err
+		}
+		if digest != baseDigest {
+			return nil, fmt.Errorf("benchexec: workload outputs diverged from serial at workers=%d (digest %016x vs %016x)", w, digest, baseDigest)
+		}
+		row.DigestMatchesBaseline = true
+		if row.NsPerOp > 0 {
+			row.SpeedupVsBaseline = float64(base.NsPerOp) / float64(row.NsPerOp)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// TuneWorkers); <= 1 keeps costing serial. Designs are identical at
 	// any worker count, only Tune wall-clock changes.
 	TuneWorkers int
+	// ExecWorkers selects both stores' execution engine (multistore.
+	// Config.ExecWorkers / exec.Env.Workers semantics): 0 is the morsel
+	// engine at GOMAXPROCS, n > 0 bounds its pool, exec.SerialWorkers is
+	// the legacy serial engine. Results are byte-identical at every
+	// setting.
+	ExecWorkers int
 }
 
 // Default returns the paper's main configuration.
@@ -72,6 +78,7 @@ func (c Config) newSystem(v multistore.Variant) (*multistore.System, error) {
 	cfg.Faults = faults.Uniform(c.FaultRate)
 	cfg.FaultSeed = c.FaultSeed
 	cfg.Tuner.TuneWorkers = c.TuneWorkers
+	cfg.ExecWorkers = c.ExecWorkers
 	sys := multistore.New(cfg, cat)
 	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
 		return nil, err

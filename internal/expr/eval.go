@@ -8,6 +8,12 @@ import (
 )
 
 // Compiled is an expression bound to a schema: it evaluates against one row.
+//
+// A Compiled evaluator is single-goroutine: function calls reuse a scratch
+// argument buffer between rows, so concurrent executors must compile one
+// evaluator per worker (compilation is a cheap AST walk; evaluation is the
+// hot path). Evaluators compiled from the same expression and schema are
+// interchangeable — they compute identical values.
 type Compiled func(row storage.Row) storage.Value
 
 // TypeOf infers the result kind of e against the given input schema.
@@ -66,8 +72,52 @@ func TypeOf(e Expr, schema *storage.Schema) (storage.Kind, error) {
 }
 
 // Compile binds e to the schema and returns an evaluator. Compilation
-// resolves all column indices up front so evaluation is index-based.
+// resolves all column indices up front so evaluation is index-based, and
+// folds row-independent subtrees (no column references, no function calls)
+// to a single precomputed value.
 func Compile(e Expr, schema *storage.Schema) (Compiled, error) {
+	c, err := compileNode(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	if _, already := e.(*Const); !already && isConstExpr(e) {
+		v := c(nil)
+		return func(storage.Row) storage.Value { return v }, nil
+	}
+	return c, nil
+}
+
+// isConstExpr reports whether e evaluates to the same value for every row.
+// Function calls are deliberately never folded so a future non-pure builtin
+// cannot be miscompiled.
+func isConstExpr(e Expr) bool {
+	switch v := e.(type) {
+	case *Const:
+		return true
+	case *BinOp:
+		return isConstExpr(v.L) && isConstExpr(v.R)
+	case *Not:
+		return isConstExpr(v.E)
+	case *Neg:
+		return isConstExpr(v.E)
+	case *IsNull:
+		return isConstExpr(v.E)
+	case *In:
+		if !isConstExpr(v.E) {
+			return false
+		}
+		for _, it := range v.Items {
+			if !isConstExpr(it) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func compileNode(e Expr, schema *storage.Schema) (Compiled, error) {
 	switch v := e.(type) {
 	case *ColRef:
 		i := schema.Index(v.Name)
@@ -178,8 +228,10 @@ func Compile(e Expr, schema *storage.Schema) (Compiled, error) {
 			args[i] = c
 		}
 		fn := impl.Eval
+		// Scratch argument buffer reused across rows; this is what makes a
+		// Compiled evaluator single-goroutine (see the Compiled doc).
+		vals := make([]storage.Value, len(args))
 		return func(row storage.Row) storage.Value {
-			vals := make([]storage.Value, len(args))
 			for i, a := range args {
 				vals[i] = a(row)
 			}

@@ -39,6 +39,12 @@ type Config struct {
 	WriteMBps float64
 	// SerDeFactor divides scan throughput when parsing raw JSON logs.
 	SerDeFactor float64
+	// ExecWorkers selects the execution engine (exec.Env.Workers
+	// semantics): 0 runs the morsel engine with GOMAXPROCS workers (the
+	// default), n > 0 bounds the pool, and exec.SerialWorkers selects the
+	// legacy serial engine. Results are byte-identical at every setting;
+	// only real wall-clock changes (simulated cost is byte-based).
+	ExecWorkers int
 }
 
 // DefaultConfig matches the paper's 15-node Hive cluster, calibrated to its
@@ -75,11 +81,12 @@ type Result struct {
 // Store is the HV instance: it owns the raw logs (via the catalog) and the
 // HV side of the multistore design.
 type Store struct {
-	cfg   Config
-	cat   *storage.Catalog
-	est   *stats.Estimator
-	inj   *faults.Injector
-	retry faults.RetryPolicy
+	cfg       Config
+	cat       *storage.Catalog
+	est       *stats.Estimator
+	inj       *faults.Injector
+	retry     faults.RetryPolicy
+	execStats *exec.Stats
 
 	// Views is the HV view set (the store's physical design).
 	Views *views.Set
@@ -100,6 +107,10 @@ func (s *Store) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
 	s.retry = retry.OrDefault()
 }
 
+// SetExecStats attaches a per-operator timing collector to every Env this
+// store hands out (nil detaches).
+func (s *Store) SetExecStats(st *exec.Stats) { s.execStats = st }
+
 // Env returns the execution environment resolving logs and HV views.
 func (s *Store) Env() *exec.Env {
 	return &exec.Env{
@@ -111,6 +122,8 @@ func (s *Store) Env() *exec.Env {
 			}
 			return v.Table, nil
 		},
+		Workers: s.cfg.ExecWorkers,
+		Stats:   s.execStats,
 	}
 }
 

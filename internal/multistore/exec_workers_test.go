@@ -1,0 +1,51 @@
+package multistore_test
+
+import (
+	"testing"
+
+	"miso/internal/data"
+	"miso/internal/exec"
+	"miso/internal/multistore"
+	"miso/internal/workload"
+)
+
+// runWorkloadWithExecWorkers replays the full 32-query evolving workload
+// on a fresh zero-fault MS-MISO system whose stores use the given
+// execution engine setting, and returns the durable-state digest.
+func runWorkloadWithExecWorkers(t *testing.T, workers int) uint64 {
+	t.Helper()
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.ExecWorkers = workers
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			t.Fatalf("execworkers=%d query %d: %v", workers, i, err)
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("execworkers=%d invariants: %v", workers, err)
+	}
+	return sys.StateDigest()
+}
+
+// TestStateDigestIdenticalAcrossExecWorkers is the end-to-end determinism
+// regression for the morsel execution engine: a full zero-fault workload
+// run — every query result, every opportunistic view, every design the
+// tuner picks from them — must leave byte-identical durable state whether
+// the stores execute with the legacy serial engine or the morsel engine at
+// eight workers.
+func TestStateDigestIdenticalAcrossExecWorkers(t *testing.T) {
+	serial := runWorkloadWithExecWorkers(t, exec.SerialWorkers)
+	parallel := runWorkloadWithExecWorkers(t, 8)
+	if serial != parallel {
+		t.Fatalf("durable-state digest diverged: serial engine %x, morsel workers=8 %x", serial, parallel)
+	}
+}

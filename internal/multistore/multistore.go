@@ -18,6 +18,7 @@ import (
 	"miso/internal/data"
 	"miso/internal/durability"
 	"miso/internal/dw"
+	"miso/internal/exec"
 	"miso/internal/faults"
 	"miso/internal/history"
 	"miso/internal/hv"
@@ -82,6 +83,14 @@ type Config struct {
 	// journaling charges no simulated time either way, so enabling it
 	// never changes the TTI breakdown of a fault-free run.
 	CheckpointEvery int
+
+	// ExecWorkers selects both stores' execution engine (exec.Env.Workers
+	// semantics): 0 runs the morsel engine with GOMAXPROCS workers (the
+	// default), n > 0 bounds the pool, and exec.SerialWorkers selects the
+	// legacy serial engine. Results — tables, digests, TTI — are
+	// byte-identical at every setting; only real wall-clock changes. A
+	// nonzero value overrides HV.ExecWorkers and DW.ExecWorkers.
+	ExecWorkers int
 }
 
 // DefaultConfig returns the paper's setup for the given variant; view
@@ -275,6 +284,10 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	if cfg.Tuner.MovePenaltyPerByteHV == 0 {
 		cfg.Tuner.MovePenaltyPerByteHV = 3 * transfer.CostToHV(cfg.Transfer, 1<<30).Total() / float64(1<<30)
 	}
+	if cfg.ExecWorkers != 0 {
+		cfg.HV.ExecWorkers = cfg.ExecWorkers
+		cfg.DW.ExecWorkers = cfg.ExecWorkers
+	}
 	est := stats.NewEstimator(cat)
 	h := hv.NewStore(cfg.HV, cat, est)
 	d := dw.NewStore(cfg.DW, est)
@@ -326,6 +339,14 @@ func (s *System) HV() *hv.Store { return s.hv }
 
 // DW returns the warehouse store.
 func (s *System) DW() *dw.Store { return s.dw }
+
+// SetExecStats attaches a per-operator execution timing collector to both
+// stores (nil detaches). The collector is safe for concurrent use, so one
+// can span a whole serving session.
+func (s *System) SetExecStats(st *exec.Stats) {
+	s.hv.SetExecStats(st)
+	s.dw.SetExecStats(st)
+}
 
 // Optimizer returns the multistore query optimizer.
 func (s *System) Optimizer() *optimizer.Optimizer { return s.opt }

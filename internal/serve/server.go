@@ -50,7 +50,10 @@ type Backend interface {
 // workers, a queue twice the worker count, no per-query deadline, a 30s
 // drain timeout, and default breaker thresholds.
 type Config struct {
-	// Workers is the number of concurrent serving workers.
+	// Workers is the number of concurrent serving workers: how many
+	// queries run at once. It is independent of the data-path parallelism
+	// inside each query, which the backend system sets via
+	// multistore.Config.ExecWorkers (the exec morsel engine).
 	Workers int
 	// QueueDepth bounds the admission queue; submissions beyond
 	// Workers+QueueDepth in flight are shed with ErrShed.

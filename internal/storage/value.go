@@ -6,7 +6,6 @@ package storage
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -161,6 +160,33 @@ func (v Value) String() string {
 // lexicographically. Cross-kind comparisons between string and numeric fall
 // back to kind ordering so Compare always yields a total order.
 func Compare(a, b Value) int {
+	// Same-kind fast paths for the two kinds that dominate join keys and
+	// sort keys. Ints compare through their float64 image exactly like the
+	// generic numeric path below, preserving its (documented) precision
+	// limit beyond 2^53 so both paths yield identical orderings.
+	if a.Kind == b.Kind {
+		switch a.Kind {
+		case KindInt:
+			af, bf := float64(a.I), float64(b.I)
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		case KindString:
+			switch {
+			case a.S < b.S:
+				return -1
+			case a.S > b.S:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
 	if a.Kind == KindNull || b.Kind == KindNull {
 		switch {
 		case a.Kind == b.Kind:
@@ -216,26 +242,51 @@ func isNumeric(k Kind) bool {
 // Equal reports whether two values compare equal under Compare semantics.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-64a parameters, inlined so the hot hashing paths need no hash.Hash
+// object or write buffer.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// HashSeed is the initial state for HashInto chains; Hash is exactly
+// HashInto(HashSeed).
+const HashSeed uint64 = fnvOffset64
+
 // Hash returns a hash of the value suitable for hash joins and hash
 // aggregation. Compare-equal values hash identically: all numeric kinds
 // hash through their float64 image, mirroring Compare's numeric semantics
 // (including its precision limit beyond 2^53).
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
+	return v.HashInto(fnvOffset64)
+}
+
+// HashInto folds the value into a running FNV-64a state and returns the new
+// state, byte-for-byte equivalent to Hash's stream but with zero
+// allocations — the executor's join build and probe call it once per key
+// column per row. Chain key columns as h = v.HashInto(h) starting from any
+// seed.
+func (v Value) HashInto(h uint64) uint64 {
 	switch v.Kind {
 	case KindNull:
-		h.Write([]byte{0})
+		h = (h ^ 0) * fnvPrime64
 	case KindInt, KindBool, KindFloat:
 		f, _ := v.AsFloat()
 		if f == 0 {
 			f = 0 // normalize -0.0
 		}
-		writeUint64(h, math.Float64bits(f))
+		u := math.Float64bits(f)
+		h = (h ^ 1) * fnvPrime64
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(u>>(8*i)))) * fnvPrime64
+		}
 	case KindString:
-		h.Write([]byte{2})
-		h.Write([]byte(v.S))
+		h = (h ^ 2) * fnvPrime64
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * fnvPrime64
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 func writeUint64(h interface{ Write([]byte) (int, error) }, u uint64) {

@@ -17,6 +17,7 @@ import (
 	"miso/internal/core"
 	"miso/internal/data"
 	"miso/internal/durability"
+	"miso/internal/exec"
 	"miso/internal/faults"
 	"miso/internal/multistore"
 	"miso/internal/serve"
@@ -60,6 +61,20 @@ type TunerConfig = core.Config
 
 // System is a running multistore instance.
 type System = multistore.System
+
+// ExecStats accumulates per-operator wall-clock counters for the data
+// path. Attach one with System.SetExecStats and render it with
+// WriteBreakdown; safe for concurrent use.
+type ExecStats = exec.Stats
+
+// ExecOpStat is one operator's row in an ExecStats breakdown.
+type ExecOpStat = exec.OpStat
+
+// SerialWorkers, assigned to Config.ExecWorkers, selects the legacy
+// row-at-a-time serial engine instead of the morsel-driven engine. The
+// default (0) runs the morsel engine with GOMAXPROCS workers; any n >= 1
+// runs it with n workers. Results are byte-identical at every setting.
+const SerialWorkers = exec.SerialWorkers
 
 // Metrics is the TTI breakdown.
 type Metrics = multistore.Metrics
