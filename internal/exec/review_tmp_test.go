@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"testing"
+
+	"miso/internal/logical"
+	"miso/internal/storage"
+)
+
+// Throwaway review test: serial vs morsel DISTINCT when a string column
+// holds both a real NULL and the literal string "NULL".
+func TestReviewNullStringDistinct(t *testing.T) {
+	schema := storage.NewSchema([]storage.Column{{Name: "s", Type: storage.KindString}})
+	in := storage.NewTable("in", schema)
+	in.MustAppend(storage.Row{storage.Null})
+	in.MustAppend(storage.Row{storage.StringValue("NULL")})
+
+	n := &logical.Node{Kind: logical.KindDistinct}
+
+	serialOut, err := runDistinct(n, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Workers: 4}
+	morselOut, err := runDistinctMorsel(n, env, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial rows=%d morsel rows=%d", len(serialOut.Rows), len(morselOut.Rows))
+	if len(serialOut.Rows) != len(morselOut.Rows) {
+		t.Fatalf("divergence: serial=%d morsel=%d", len(serialOut.Rows), len(morselOut.Rows))
+	}
+}
