@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos soak serve crash
+.PHONY: tier1 build vet test race bench chaos soak serve crash govern
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite under the race detector, and explicit runs of the
 # concurrent-serving soak, the crash-recovery regression, the
 # parallel-tuning determinism and concurrent what-if costing regressions,
-# and the morsel-engine determinism regressions (all race-enabled).
+# the morsel-engine determinism regressions, and the governance
+# regressions (cancellation storm, panic isolation) — all race-enabled.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun|TestConcurrentWhatIfCostingDuringSoak' -count 1 ./internal/serve/
+	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun|TestConcurrentWhatIfCostingDuringSoak|TestCancelFreesWorkersWithinBound|TestWorkerPanicIsolation|TestMetricsGovernanceCounters' -count 1 ./internal/serve/
 	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem|TestStateDigestIdenticalAcrossTuneWorkers|TestStateDigestIdenticalAcrossExecWorkers' -count 1 ./internal/multistore/
 	$(GO) test -race -run 'TestTuneDeterministicAcrossWorkerCounts' -count 1 ./internal/core/
 	$(GO) test -race -run 'TestMorselEngineByteIdenticalToSerial|TestMorselEngineFullWorkloadDigest|TestSortFullRowTieBreak' -count 1 ./internal/exec/
@@ -37,6 +38,7 @@ race:
 bench:
 	$(GO) run ./cmd/misobench -bench -scale small -benchout BENCH_tuner.json
 	$(GO) run ./cmd/misobench -benchexec -scale small -benchexecout BENCH_exec.json
+	$(GO) run ./cmd/misobench -benchgov -scale small -benchgovout BENCH_governance.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/multistore/
 
 chaos:
@@ -50,3 +52,6 @@ serve:
 
 crash:
 	$(GO) run ./cmd/misobench -crash -scale small
+
+govern:
+	$(GO) run ./cmd/misobench -benchgov -scale small

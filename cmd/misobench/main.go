@@ -13,6 +13,7 @@
 //	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
 //	misobench -bench -scale small -benchout BENCH_tuner.json  # benchmark pipeline
 //	misobench -benchexec -scale small -benchexecout BENCH_exec.json  # exec engine benchmarks
+//	misobench -benchgov -scale small -benchgovout BENCH_governance.json  # governance pipeline
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whatever experiments the invocation runs (see README.md).
@@ -50,6 +51,8 @@ func main() {
 	benchOut := flag.String("benchout", "", "benchmark pipeline: also write the machine-readable JSON report to this file")
 	benchExec := flag.Bool("benchexec", false, "run the exec benchmark pipeline (morsel engine vs serial baseline; not part of -all)")
 	benchExecOut := flag.String("benchexecout", "", "exec benchmark pipeline: also write the machine-readable JSON report to this file")
+	benchGov := flag.Bool("benchgov", false, "run the governance pipeline (cancellation storm, panic containment, memory budgets; not part of -all)")
+	benchGovOut := flag.String("benchgovout", "", "governance pipeline: also write the machine-readable JSON report to this file")
 	tuneWorkers := flag.Int("tuneworkers", 0, "tuner what-if worker pool size for all experiments (<= 1 keeps costing serial)")
 	execWorkers := flag.Int("execworkers", 0, "execution engine for all experiments: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
@@ -120,6 +123,9 @@ func main() {
 	}
 	if *benchExec {
 		targets["benchexec"] = true
+	}
+	if *benchGov {
+		targets["benchgov"] = true
 	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
@@ -276,6 +282,25 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchExecOut)
+		}
+		return nil
+	})
+	run("benchgov", func() error {
+		r, err := experiments.BenchGovern(cfg)
+		if err != nil {
+			return err
+		}
+		r.WriteText(os.Stdout)
+		if *benchGovOut != "" {
+			f, err := os.Create(*benchGovOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := r.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchGovOut)
 		}
 		return nil
 	})

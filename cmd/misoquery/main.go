@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"miso/internal/logical"
 	"miso/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate (0 disables the fault plane)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 disables; abandoned work is charged to RECOVERY)")
+	memLimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes (0 disables; exceeding aborts the query)")
 	ckptEvery := flag.Int("checkpointevery", 0, "journal design mutations and checkpoint full state every n operations (0 disables the durability plane)")
 	execWorkers := flag.Int("execworkers", 0, "execution engine: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	flag.Parse()
@@ -59,6 +61,7 @@ func main() {
 	sysCfg.FaultSeed = *faultSeed
 	sysCfg.CheckpointEvery = *ckptEvery
 	sysCfg.ExecWorkers = *execWorkers
+	sysCfg.MemLimitBytes = *memLimit
 	sys, err := miso.Open(sysCfg, dataCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,18 +105,30 @@ func main() {
 
 	// The query goes through the serving frontend (one worker, so the
 	// execution itself is identical to sys.Run) to get deadline
-	// enforcement and the serving counters.
+	// enforcement and the serving counters. Ctrl-C cancels the query
+	// cooperatively: the morsel workers notice at their next claim and the
+	// partial work is charged to recovery.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	srv := miso.NewServer(miso.ServeConfig{Workers: 1, QueryTimeout: *timeout}, sys)
-	rep, err := srv.Do(context.Background(), query)
+	rep, err := srv.Do(ctx, query)
 	srv.Close()
 	sm := srv.Metrics()
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			m := sys.Metrics()
-			fmt.Fprintf(os.Stderr, "query abandoned after %s deadline; %.1fs of partial work charged to recovery\n",
+		m := sys.Metrics()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "misoquery: query abandoned after %s deadline (%.1fs of partial work charged to recovery)\n",
 				*timeout, m.Recovery)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "misoquery: query canceled (%.1fs of partial work charged to recovery)\n",
+				m.Recovery)
+		case errors.Is(err, miso.ErrMemLimit):
+			fmt.Fprintf(os.Stderr, "misoquery: query aborted over its %d-byte memory budget (%.1fs of partial work charged to recovery)\n",
+				*memLimit, m.Recovery)
+		default:
+			fmt.Fprintln(os.Stderr, err)
 		}
-		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"miso/internal/govern"
 	"miso/internal/history"
 	"miso/internal/logical"
 	"miso/internal/optimizer"
@@ -212,9 +213,11 @@ func (t *Tuner) Tune(current optimizer.Design, w *history.Window) (*Reorg, error
 			}
 		}
 	} else {
-		runParallel(workers, len(entries), func(i int) {
+		if err := runParallel(workers, "tuner relevant-views", len(entries), func(i int) {
 			relevant[i] = relevantViews(entries[i].Plan, universe)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Warm the cost cache by fanning every what-if probe — per-entry
@@ -226,7 +229,9 @@ func (t *Tuner) Tune(current optimizer.Design, w *history.Window) (*Reorg, error
 	// (entry, pair) order, making the float64 sums — and every design
 	// decision downstream — byte-identical to the serial tuner.
 	if workers > 1 {
-		t.warmProbes(entries, relevant, workers)
+		if err := t.warmProbes(entries, relevant, workers); err != nil {
+			return nil, err
+		}
 	}
 
 	// Predicted per-store benefits for each view.
@@ -447,7 +452,7 @@ type probe struct {
 // them across the worker pool, filling the cost cache. Two workers racing
 // to the same key both compute the same pure value, so the final cached
 // float is scheduling-independent.
-func (t *Tuner) warmProbes(entries []history.Entry, relevant [][]*views.View, workers int) {
+func (t *Tuner) warmProbes(entries []history.Entry, relevant [][]*views.View, workers int) error {
 	var tasks []probe
 	for i, e := range entries {
 		rel := relevant[i]
@@ -466,7 +471,7 @@ func (t *Tuner) warmProbes(entries []history.Entry, relevant [][]*views.View, wo
 			}
 		}
 	}
-	runParallel(workers, len(tasks), func(i int) {
+	return runParallel(workers, "tuner what-if", len(tasks), func(i int) {
 		t.cost(tasks[i].e, tasks[i].hv, tasks[i].dw)
 	})
 }
@@ -474,33 +479,53 @@ func (t *Tuner) warmProbes(entries []history.Entry, relevant [][]*views.View, wo
 // runParallel runs fn(0..n-1) across at most `workers` goroutines, pulling
 // indices from an atomic counter so uneven task costs balance themselves.
 // workers <= 1 (or a trivial n) degenerates to a plain serial loop on the
-// calling goroutine.
-func runParallel(workers, n int, fn func(int)) {
+// calling goroutine. A panicking task — serial or pooled — is contained
+// by govern.Capture and returned as a typed govern.ErrInternal carrying
+// op, so a bad what-if probe fails one Tune call, not the process; the
+// remaining workers stop claiming tasks once any task fails.
+func runParallel(workers int, op string, n int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := govern.Capture(op, func() error { fn(i); return nil }); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := govern.Capture(op, func() error { fn(i); return nil }); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // relevantViews returns the subset of the (name-sorted) universe matching

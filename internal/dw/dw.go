@@ -16,6 +16,8 @@ import (
 
 	"miso/internal/exec"
 	"miso/internal/expr"
+	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/logical"
 	"miso/internal/stats"
 	"miso/internal/storage"
@@ -75,6 +77,8 @@ type Store struct {
 	cfg       Config
 	est       *stats.Estimator
 	execStats *exec.Stats
+	execInj   *faults.Injector
+	gov       *govern.Ledger
 
 	// Views is the permanent table space: the DW side of the multistore
 	// design.
@@ -126,6 +130,14 @@ func (s *Store) Resolve(name string) (*storage.Table, error) {
 // store hands out (nil detaches).
 func (s *Store) SetExecStats(st *exec.Stats) { s.execStats = st }
 
+// SetExecFaults arms the exec engine's fault sites with their own
+// injector, separate from the store-level one (see hv.Store.SetExecFaults).
+func (s *Store) SetExecFaults(inj *faults.Injector) { s.execInj = inj }
+
+// SetGovernor attaches the current query's memory ledger to every Env the
+// store hands out; the multistore sets it per query and clears it after.
+func (s *Store) SetGovernor(l *govern.Ledger) { s.gov = l }
+
 // Env returns the execution environment. DW has no raw logs: plans must
 // bottom out in ViewScans over permanent views or staged temp tables.
 func (s *Store) Env() *exec.Env {
@@ -136,6 +148,8 @@ func (s *Store) Env() *exec.Env {
 		ReadView: s.Resolve,
 		Workers:  s.cfg.ExecWorkers,
 		Stats:    s.execStats,
+		Mem:      s.gov,
+		Inj:      s.execInj,
 	}
 }
 
@@ -152,6 +166,7 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node) (*Result
 		return nil, ErrUDF
 	}
 	env := s.Env()
+	env.Ctx = ctx
 	tables := map[*logical.Node]*storage.Table{}
 	var run func(n *logical.Node) (*storage.Table, error)
 	run = func(n *logical.Node) (*storage.Table, error) {
@@ -172,6 +187,11 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node) (*Result
 		}
 		t, err := exec.RunNode(n, env, inputs)
 		if err != nil {
+			return nil, err
+		}
+		// Intermediates pipelined through DW are still real memory: charge
+		// their raw bytes; the multistore releases the ledger at query end.
+		if err := s.gov.Reserve(t.RawBytes()); err != nil {
 			return nil, err
 		}
 		tables[n] = t

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"miso/internal/expr"
 	"miso/internal/logical"
@@ -47,7 +46,7 @@ func accumulateRow(aggs []logical.AggSpec, states []*aggState, argEvals []expr.C
 			continue
 		}
 		if a.Distinct {
-			dk := v.String()
+			dk := string(appendTaggedKey(nil, v))
 			if st.distinct[dk] {
 				continue
 			}
@@ -128,17 +127,17 @@ func runAggregate(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 	}
 	groups := map[string]*group{}
 	var order []string // deterministic output order: first-seen
-	var keyBuf strings.Builder
+	var keyBuf []byte
 
 	for _, row := range in.Rows {
-		keyBuf.Reset()
+		keyBuf = keyBuf[:0]
 		keyVals := make(storage.Row, len(groupEvals))
 		for i, g := range groupEvals {
 			keyVals[i] = g(row)
-			keyBuf.WriteString(keyVals[i].String())
-			keyBuf.WriteByte(0)
+			keyBuf = appendTaggedKey(keyBuf, keyVals[i])
+			keyBuf = append(keyBuf, 0)
 		}
-		k := keyBuf.String()
+		k := string(keyBuf)
 		grp, ok := groups[k]
 		if !ok {
 			grp = &group{key: keyVals, states: newAggStates(n.Aggs)}
@@ -203,9 +202,14 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 	}
 
 	nRows := len(in.Rows)
+	sc := env.scope()
+	defer sc.Release()
+	if err := env.reserve(sc, int64(nRows)*(valueCost*int64(nG)+idxCost)); err != nil {
+		return nil, err
+	}
 	keyVals := make([]storage.Value, nRows*nG)
 	buckets := make([]rowBuckets, morselCount(nRows, mr))
-	forEachMorsel(workers, nRows, mr, func(w, m, start, end int) {
+	err := forEachMorsel(env, "agg-hash", workers, nRows, mr, func(w, m, start, end int) error {
 		evals := sets[w].groups
 		var b rowBuckets
 		for i := start; i < end; i++ {
@@ -219,7 +223,11 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 			b[p] = append(b[p], int32(i))
 		}
 		buckets[m] = b
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	type group struct {
 		key    storage.Row
@@ -227,10 +235,11 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 		first  int32
 	}
 	parts := make([][]*group, partitions)
-	forEachTask(workers, partitions, func(w, p int) {
+	err = forEachTask(env, "agg-build", workers, partitions, func(w, p int) error {
 		args := sets[w].args
 		m := make(map[string]*group)
 		var keyBuf []byte
+		var groupBytes int64
 		var local []*group
 		for _, b := range buckets {
 			for _, i := range b[p] {
@@ -238,7 +247,7 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 				kv := keyVals[int(i)*nG : int(i)*nG+nG]
 				keyBuf = keyBuf[:0]
 				for _, v := range kv {
-					keyBuf = appendValueKey(keyBuf, v)
+					keyBuf = appendTaggedKey(keyBuf, v)
 					keyBuf = append(keyBuf, 0)
 				}
 				grp := m[string(keyBuf)]
@@ -250,12 +259,20 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 					}
 					m[string(keyBuf)] = grp
 					local = append(local, grp)
+					groupBytes += grp.key.EncodedSize() + groupCost
 				}
 				accumulateRow(n.Aggs, grp.states, args, row)
 			}
 		}
+		if err := env.reserve(sc, groupBytes); err != nil {
+			return err
+		}
 		parts[p] = local
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var all []*group
 	for _, p := range parts {
@@ -267,7 +284,12 @@ func runAggregateMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.
 	if len(all) == 0 && nG == 0 {
 		return emptyGlobalAggRow(n, out), nil
 	}
-	for _, grp := range all {
+	for j, grp := range all {
+		if j%cancelPollRows == cancelPollRows-1 {
+			if err := env.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
 		row := make(storage.Row, 0, n.Schema().Len())
 		row = append(row, grp.key...)
 		for i, a := range n.Aggs {

@@ -7,13 +7,17 @@
 package exec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
 	"miso/internal/expr"
+	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/logical"
 	"miso/internal/storage"
 )
@@ -40,6 +44,22 @@ type Env struct {
 	// Stats, when non-nil, accumulates per-operator wall-clock timings
 	// across every node this Env runs.
 	Stats *Stats
+	// Ctx, when non-nil, is the query's cancellation context. Morsel
+	// workers check it at every morsel claim and merge loops poll it
+	// periodically, so a canceled query releases its workers within a
+	// bounded amount of residual work. Nil disables the checks.
+	Ctx context.Context
+	// Mem, when non-nil, is the query's memory reservation ledger:
+	// operators charge it as extract buffers, hash partitions, and sort
+	// keys grow, and a reservation over the limit aborts the query with
+	// an error wrapping govern.ErrMemLimit. Nil disables accounting.
+	Mem *govern.Ledger
+	// Inj, when non-nil, is the exec-plane fault injector (worker panics,
+	// memory pressure, slow-morsel stragglers). It must be a separate
+	// injector from the store-level one so concurrent morsel draws never
+	// perturb the serialized stage/transfer sequence (see
+	// faults.Profile.ExecOnly). Nil disables injection.
+	Inj *faults.Injector
 }
 
 // Run executes the whole subtree and returns its result.
@@ -62,18 +82,37 @@ func Run(n *logical.Node, env *Env) (*storage.Table, error) {
 
 // RunNode executes a single operator given its children's outputs. Extract
 // and ViewScan resolve their data through env and ignore inputs.
+//
+// Governance applies at the node boundary for every engine: a canceled
+// Env.Ctx fails the node before work starts, and a panic anywhere in the
+// operator — including the serial engine's inline path — is converted to
+// a typed govern.ErrInternal carrying the operator name, so one bad node
+// cannot kill the process or other in-flight queries.
 func RunNode(n *logical.Node, env *Env, inputs []*storage.Table) (*storage.Table, error) {
 	if env.Stats == nil {
-		return runNode(n, env, inputs)
+		return runNodeSafe(n, env, inputs)
 	}
 	start := time.Now()
-	t, err := runNode(n, env, inputs)
+	t, err := runNodeSafe(n, env, inputs)
 	rows := 0
 	if t != nil {
 		rows = len(t.Rows)
 	}
 	env.Stats.record(n.Kind, rows, time.Since(start))
 	return t, err
+}
+
+func runNodeSafe(n *logical.Node, env *Env, inputs []*storage.Table) (t *storage.Table, err error) {
+	if cerr := env.cancelErr(); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			t = nil
+			err = govern.NewPanicError(n.Kind.String(), v, debug.Stack())
+		}
+	}()
+	return runNode(n, env, inputs)
 }
 
 func runNode(n *logical.Node, env *Env, inputs []*storage.Table) (*storage.Table, error) {
@@ -355,16 +394,15 @@ func keysEqual(l, r storage.Row, lIdx, rIdx []int) bool {
 func runDistinct(n *logical.Node, in *storage.Table) (*storage.Table, error) {
 	out := newOutput(n, in)
 	seen := make(map[string]bool, len(in.Rows))
-	var key strings.Builder
+	var keyBuf []byte
 	for _, row := range in.Rows {
-		key.Reset()
+		keyBuf = keyBuf[:0]
 		for _, v := range row {
-			key.WriteString(v.String())
-			key.WriteByte(0)
+			keyBuf = appendTaggedKey(keyBuf, v)
+			keyBuf = append(keyBuf, 0)
 		}
-		k := key.String()
-		if !seen[k] {
-			seen[k] = true
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out.MustAppend(row)
 		}
 	}

@@ -303,8 +303,10 @@ func runExtractMorsel(n *logical.Node, env *Env) (*storage.Table, error) {
 	}
 	lines := log.Lines
 	width := len(n.Fields)
+	sc := env.scope()
+	defer sc.Release()
 	chunks := make([][]storage.Row, morselCount(len(lines), env.morselRows()))
-	forEachMorsel(workers, len(lines), env.morselRows(), func(w, m, start, end int) {
+	err = forEachMorsel(env, "extract", workers, len(lines), env.morselRows(), func(w, m, start, end int) error {
 		evals := workerUDFs[w]
 		buf := make([]storage.Row, 0, end-start)
 		for _, line := range lines[start:end] {
@@ -326,14 +328,16 @@ func runExtractMorsel(n *logical.Node, env *Env) (*storage.Table, error) {
 			}
 			buf = append(buf, row)
 		}
+		if err := env.reserve(sc, rowsEncodedSize(buf)); err != nil {
+			return err
+		}
 		chunks[m] = buf
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := storage.NewTable(n.Signature(), schema.Clone())
 	out.ScaleFactor = log.ScaleFactor
-	for _, c := range chunks {
-		for _, r := range c {
-			out.MustAppend(r)
-		}
-	}
-	return out, nil
+	return appendChunks(env, out, chunks)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"miso/internal/data"
+	"miso/internal/logical"
 	"miso/internal/storage"
 )
 
@@ -175,5 +176,49 @@ func TestHashKeysMatchesValueHash(t *testing.T) {
 	got, ok := hashKeys(storage.Row{v}, []int{0})
 	if !ok || got != v.Hash() {
 		t.Fatalf("single-key hash %x, want Value.Hash %x", got, v.Hash())
+	}
+}
+
+// TestDistinctNullVersusLiteralNullString pins the engines' agreement on
+// the edge where a string column holds both a real NULL and the literal
+// string "NULL": both engines key distinct rows the same way, so their
+// outputs must match row for row at any parallelism (folded from the PR 5
+// review scratch test, strengthened from a row-count check to full output
+// equality).
+func TestDistinctNullVersusLiteralNullString(t *testing.T) {
+	schema, err := storage.NewSchema(storage.Column{Name: "s", Type: storage.KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := storage.NewTable("in", schema)
+	in.MustAppend(storage.Row{storage.Null})
+	in.MustAppend(storage.Row{storage.StringValue("NULL")})
+	in.MustAppend(storage.Row{storage.StringValue("null")})
+	in.MustAppend(storage.Row{storage.Null})
+	in.MustAppend(storage.Row{storage.StringValue("NULL")})
+
+	n := &logical.Node{
+		Kind:     logical.KindDistinct,
+		Children: []*logical.Node{{Kind: logical.KindScan, LogName: "in"}},
+	}
+	n.SetSchema(schema)
+	serialOut, err := runDistinct(n, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		env := &Env{Workers: workers}
+		morselOut, err := runDistinctMorsel(n, env, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(morselOut.Rows) != len(serialOut.Rows) {
+			t.Fatalf("workers=%d: serial=%d rows, morsel=%d rows", workers, len(serialOut.Rows), len(morselOut.Rows))
+		}
+		for i := range serialOut.Rows {
+			if !reflect.DeepEqual(serialOut.Rows[i], morselOut.Rows[i]) {
+				t.Fatalf("workers=%d row %d: serial=%v morsel=%v", workers, i, serialOut.Rows[i], morselOut.Rows[i])
+			}
+		}
 	}
 }

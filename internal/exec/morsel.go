@@ -4,12 +4,23 @@
 // only on the input size and the configured morsel size — never on the
 // worker count — so per-morsel partial results can be merged in a fixed
 // order and the engine's output is byte-identical at any parallelism.
+//
+// The pool is also where the governance plane bites: every worker checks
+// the query's context at each morsel claim (so a canceled query releases
+// its workers within one morsel of work), and every morsel body runs under
+// govern.Capture (so a panicking operator fails only its own query). Both
+// are no-ops when Env.Ctx and the fault injector are nil.
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"miso/internal/faults"
+	"miso/internal/govern"
 )
 
 // SerialWorkers is the Env.Workers setting that selects the legacy
@@ -19,8 +30,18 @@ const SerialWorkers = -1
 
 // DefaultMorselRows is the fixed morsel size: large enough that the atomic
 // fetch and goroutine handoff amortize to nothing, small enough that a
-// skewed morsel cannot stall the pool at the end of an operator.
+// skewed morsel cannot stall the pool at the end of an operator — which
+// also bounds how much work a worker does between cancellation checks.
 const DefaultMorselRows = 1024
+
+// stragglerStallMax bounds the wall-clock sleep a SiteSlowMorsel injection
+// adds to one morsel (scaled by the injector's frac draw). Small enough to
+// keep chaos runs fast, large enough to make cancellation latency visible.
+const stragglerStallMax = 2 * time.Millisecond
+
+// cancelPollRows is how many rows a serial merge or sort loop processes
+// between cancellation polls.
+const cancelPollRows = 4096
 
 // workerCount resolves Env.Workers to a pool size (0 means GOMAXPROCS).
 // Only meaningful when the morsel engine is selected (Workers >= 0).
@@ -45,9 +66,76 @@ func (env *Env) morselRows() int {
 // parallel reports whether the morsel engine is selected.
 func (env *Env) parallel() bool { return env.Workers >= 0 }
 
+// cancelErr returns the query's cancellation error, or nil. Workers call
+// it at every morsel claim; merge loops poll it every cancelPollRows rows.
+func (env *Env) cancelErr() error {
+	if env.Ctx == nil {
+		return nil
+	}
+	if err := env.Ctx.Err(); err != nil {
+		return fmt.Errorf("exec: canceled: %w", err)
+	}
+	return nil
+}
+
+// scope opens a reservation scope for one operator's transient memory
+// (chunk buffers, hash partitions, sort keys). Nil when no ledger is set.
+func (env *Env) scope() *govern.Scope { return env.Mem.NewScope() }
+
+// reserve charges transient operator memory to the scope, first giving the
+// mem-pressure fault site a chance to fail the reservation as if the
+// ledger were exhausted. Nil scope and nil injector are both no-ops.
+func (env *Env) reserve(sc *govern.Scope, bytes int64) error {
+	if failed, _ := env.Inj.Check(faults.SiteMemPressure); failed {
+		return fmt.Errorf("exec: injected memory pressure (%d B requested): %w", bytes, govern.ErrMemLimit)
+	}
+	return sc.Reserve(bytes)
+}
+
 // morselCount returns how many morsels cover n rows.
 func morselCount(n, morselRows int) int {
 	return (n + morselRows - 1) / morselRows
+}
+
+// failFirst keeps the first error a pool worker hit and tells the other
+// workers to stop claiming work.
+type failFirst struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	e      error
+}
+
+func (f *failFirst) set(err error) {
+	f.mu.Lock()
+	if f.e == nil {
+		f.e = err
+	}
+	f.mu.Unlock()
+	f.failed.Store(true)
+}
+
+func (f *failFirst) aborted() bool { return f.failed.Load() }
+
+func (f *failFirst) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e
+}
+
+// runMorsel executes one morsel body under panic capture, with the
+// exec-plane fault sites (injected worker panic, straggler stall) applied
+// first. Both injections happen inside the capture so an injected panic
+// exercises exactly the containment path a real one would.
+func runMorsel(env *Env, op string, m int, fn func() error) error {
+	return govern.Capture(op, func() error {
+		if failed, _ := env.Inj.Check(faults.SiteExecPanic); failed {
+			panic(fmt.Sprintf("injected exec worker panic: %s morsel %d", op, m))
+		}
+		if failed, frac := env.Inj.Check(faults.SiteSlowMorsel); failed {
+			time.Sleep(time.Duration(frac * float64(stragglerStallMax)))
+		}
+		return fn()
+	})
 }
 
 // forEachMorsel partitions [0, n) into fixed-size row ranges and fans them
@@ -55,38 +143,60 @@ func morselCount(n, morselRows int) int {
 // keep per-worker scratch state such as compiled evaluators), the morsel
 // index, and the half-open row range. With one worker — or one morsel —
 // everything runs inline on the calling goroutine.
-func forEachMorsel(workers, n, morselRows int, fn func(w, m, start, end int)) {
+//
+// Governance: each worker checks cancellation before every claim and stops
+// claiming once any worker fails; a panic in fn fails the operator with a
+// typed govern.ErrInternal instead of killing the process. The first error
+// wins and is returned after all workers have parked.
+func forEachMorsel(env *Env, op string, workers, n, morselRows int, fn func(w, m, start, end int) error) error {
 	morsels := morselCount(n, morselRows)
 	if morsels == 0 {
-		return
+		return nil
 	}
 	if workers > morsels {
 		workers = morsels
 	}
 	if workers <= 1 {
 		for m := 0; m < morsels; m++ {
+			if err := env.cancelErr(); err != nil {
+				return err
+			}
 			start, end := morselRange(m, n, morselRows)
-			fn(0, m, start, end)
+			if err := runMorsel(env, op, m, func() error { return fn(0, m, start, end) }); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var fail failFirst
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if fail.aborted() {
+					return
+				}
+				if err := env.cancelErr(); err != nil {
+					fail.set(err)
+					return
+				}
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
 					return
 				}
 				start, end := morselRange(m, n, morselRows)
-				fn(w, m, start, end)
+				if err := runMorsel(env, op, m, func() error { return fn(w, m, start, end) }); err != nil {
+					fail.set(err)
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	return fail.err()
 }
 
 func morselRange(m, n, morselRows int) (start, end int) {
@@ -99,35 +209,52 @@ func morselRange(m, n, morselRows int) (start, end int) {
 }
 
 // forEachTask runs n independent tasks (hash-partition builds, partition
-// accumulation) over the worker pool. fn receives the worker index and the
-// task index.
-func forEachTask(workers, n int, fn func(w, i int)) {
+// accumulation) over the worker pool with the same governance contract as
+// forEachMorsel: cancellation checked at every claim, panics contained.
+func forEachTask(env *Env, op string, workers, n int, fn func(w, i int) error) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			if err := env.cancelErr(); err != nil {
+				return err
+			}
+			if err := runMorsel(env, op, i, func() error { return fn(0, i) }); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var fail failFirst
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if fail.aborted() {
+					return
+				}
+				if err := env.cancelErr(); err != nil {
+					fail.set(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(w, i)
+				if err := runMorsel(env, op, i, func() error { return fn(w, i) }); err != nil {
+					fail.set(err)
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	return fail.err()
 }

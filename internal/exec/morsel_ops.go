@@ -4,6 +4,14 @@
 // per-morsel buffers in morsel order; Join partitions its build side by key
 // hash but keeps every per-key row list in build-input order; Distinct and
 // Sort recover the serial order from recorded input positions.
+//
+// Governance contract: operators charge the query's memory ledger (when
+// one is attached) as their transient state grows — chunk buffers, hash
+// partitions, precomputed key arrays — and release it once the output is
+// materialized; a reservation over the limit aborts the operator with
+// govern.ErrMemLimit. Merge loops poll cancellation every cancelPollRows
+// rows. With governance disabled every charge and poll is a nil no-op and
+// results are byte-identical to the ungoverned engine.
 package exec
 
 import (
@@ -21,6 +29,26 @@ import (
 // parallelism.
 const partitions = 16
 
+// Ledger charge approximations for transient operator state. Referenced
+// rows are charged per retained reference (the rows themselves belong to
+// the input table); newly built rows are charged at their encoded size.
+const (
+	refRowCost = 8  // bytes per retained row reference
+	idxCost    = 4  // bytes per int32 row index
+	hashCost   = 8  // bytes per uint64 row hash
+	valueCost  = 24 // bytes per precomputed storage.Value (keys)
+	groupCost  = 64 // fixed overhead per hash-table group entry
+)
+
+// rowsEncodedSize sums the encoded size of newly materialized rows.
+func rowsEncodedSize(rows []storage.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
 // compileWorkers compiles e once per worker (Compiled evaluators are
 // single-goroutine).
 func compileWorkers(e expr.Expr, schema *storage.Schema, workers int) ([]expr.Compiled, error) {
@@ -35,13 +63,23 @@ func compileWorkers(e expr.Expr, schema *storage.Schema, workers int) ([]expr.Co
 	return out, nil
 }
 
-func appendChunks(out *storage.Table, chunks [][]storage.Row) *storage.Table {
+// appendChunks merges per-morsel buffers in morsel order, polling
+// cancellation as it goes.
+func appendChunks(env *Env, out *storage.Table, chunks [][]storage.Row) (*storage.Table, error) {
+	sincePoll := 0
 	for _, c := range chunks {
 		for _, r := range c {
 			out.MustAppend(r)
 		}
+		sincePoll += len(c)
+		if sincePoll >= cancelPollRows {
+			sincePoll = 0
+			if err := env.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return out
+	return out, nil
 }
 
 func runFilterMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
@@ -50,8 +88,10 @@ func runFilterMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Tab
 	if err != nil {
 		return nil, err
 	}
+	sc := env.scope()
+	defer sc.Release()
 	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
-	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) {
+	err = forEachMorsel(env, "filter", workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) error {
 		pred := preds[w]
 		var buf []storage.Row
 		for _, row := range in.Rows[start:end] {
@@ -59,9 +99,16 @@ func runFilterMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Tab
 				buf = append(buf, row)
 			}
 		}
+		if err := env.reserve(sc, refRowCost*int64(len(buf))); err != nil {
+			return err
+		}
 		chunks[m] = buf
+		return nil
 	})
-	return appendChunks(newOutput(n, in), chunks), nil
+	if err != nil {
+		return nil, err
+	}
+	return appendChunks(env, newOutput(n, in), chunks)
 }
 
 func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
@@ -78,8 +125,10 @@ func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Ta
 		}
 		workerEvals[w] = evals
 	}
+	sc := env.scope()
+	defer sc.Release()
 	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
-	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) {
+	err := forEachMorsel(env, "project", workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) error {
 		evals := workerEvals[w]
 		buf := make([]storage.Row, 0, end-start)
 		for _, row := range in.Rows[start:end] {
@@ -89,9 +138,16 @@ func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Ta
 			}
 			buf = append(buf, nr)
 		}
+		if err := env.reserve(sc, rowsEncodedSize(buf)); err != nil {
+			return err
+		}
 		chunks[m] = buf
+		return nil
 	})
-	return appendChunks(newOutput(n, in), chunks), nil
+	if err != nil {
+		return nil, err
+	}
+	return appendChunks(env, newOutput(n, in), chunks)
 }
 
 // rowBuckets records, per morsel, which row indexes land in each hash
@@ -106,11 +162,16 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 	}
 	workers := env.workerCount()
 	mr := env.morselRows()
+	sc := env.scope()
+	defer sc.Release()
 
 	// Phase 1: hash both sides in parallel, bucketing the build side.
+	if err := env.reserve(sc, int64(len(right.Rows))*(hashCost+idxCost)+int64(len(left.Rows))*(hashCost+1)); err != nil {
+		return nil, err
+	}
 	rHash := make([]uint64, len(right.Rows))
 	rBuckets := make([]rowBuckets, morselCount(len(right.Rows), mr))
-	forEachMorsel(workers, len(right.Rows), mr, func(_, m, start, end int) {
+	err = forEachMorsel(env, "join-hash", workers, len(right.Rows), mr, func(_, m, start, end int) error {
 		var b rowBuckets
 		for i := start; i < end; i++ {
 			h, ok := hashKeys(right.Rows[i], rIdx)
@@ -122,35 +183,52 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 			b[p] = append(b[p], int32(i))
 		}
 		rBuckets[m] = b
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	lHash := make([]uint64, len(left.Rows))
 	lOK := make([]bool, len(left.Rows))
-	forEachMorsel(workers, len(left.Rows), mr, func(_, _, start, end int) {
+	err = forEachMorsel(env, "join-hash", workers, len(left.Rows), mr, func(_, _, start, end int) error {
 		for i := start; i < end; i++ {
 			lHash[i], lOK[i] = hashKeys(left.Rows[i], lIdx)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: per-partition builds. Each partition walks its bucket lists
 	// in morsel order, so every per-key row list is in build-input order —
 	// exactly the order the serial build produces.
 	builds := make([]map[uint64][]storage.Row, partitions)
-	forEachTask(workers, partitions, func(_, p int) {
+	err = forEachTask(env, "join-build", workers, partitions, func(_, p int) error {
 		m := make(map[uint64][]storage.Row)
+		count := 0
 		for _, b := range rBuckets {
 			for _, i := range b[p] {
 				h := rHash[i]
 				m[h] = append(m[h], right.Rows[i])
+				count++
 			}
 		}
+		if err := env.reserve(sc, refRowCost*int64(count)); err != nil {
+			return err
+		}
 		builds[p] = m
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 3: probe morsels over the left side, merged in morsel order.
 	rWidth := right.Schema.Len()
 	leftJoin := n.JoinType == logical.JoinLeft
 	chunks := make([][]storage.Row, morselCount(len(left.Rows), mr))
-	forEachMorsel(workers, len(left.Rows), mr, func(_, m, start, end int) {
+	err = forEachMorsel(env, "join-probe", workers, len(left.Rows), mr, func(_, m, start, end int) error {
 		var buf []storage.Row
 		for i := start; i < end; i++ {
 			lrow := left.Rows[i]
@@ -176,9 +254,26 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 				buf = append(buf, nr)
 			}
 		}
+		if err := env.reserve(sc, rowsEncodedSize(buf)); err != nil {
+			return err
+		}
 		chunks[m] = buf
+		return nil
 	})
-	return appendChunks(newOutput(n, left, right), chunks), nil
+	if err != nil {
+		return nil, err
+	}
+	return appendChunks(env, newOutput(n, left, right), chunks)
+}
+
+// appendTaggedKey appends a kind tag byte then the value's bytes, so
+// values of different kinds — NULL vs the literal string "NULL", the int 1
+// vs the string "1" — never collide in a distinct or group key. Both
+// engines key through it, which keeps them byte-identical on the edge
+// where the morsel engine's kind-tagged hash partitioning would otherwise
+// split rows an untagged key conflates.
+func appendTaggedKey(b []byte, v storage.Value) []byte {
+	return appendValueKey(append(b, byte(v.Kind)), v)
 }
 
 // appendValueKey appends exactly the bytes of v.String(); the byte-buffer
@@ -205,10 +300,15 @@ func appendValueKey(b []byte, v storage.Value) []byte {
 func runDistinctMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
 	workers := env.workerCount()
 	mr := env.morselRows()
+	sc := env.scope()
+	defer sc.Release()
 	// Phase 1: hash whole rows, bucketing by partition.
+	if err := env.reserve(sc, int64(len(in.Rows))*(hashCost+idxCost)); err != nil {
+		return nil, err
+	}
 	buckets := make([]rowBuckets, morselCount(len(in.Rows), mr))
 	hashes := make([]uint64, len(in.Rows))
-	forEachMorsel(workers, len(in.Rows), mr, func(_, m, start, end int) {
+	err := forEachMorsel(env, "distinct-hash", workers, len(in.Rows), mr, func(_, m, start, end int) error {
 		var b rowBuckets
 		for i := start; i < end; i++ {
 			h := storage.HashSeed
@@ -220,29 +320,42 @@ func runDistinctMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.T
 			b[p] = append(b[p], int32(i))
 		}
 		buckets[m] = b
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Phase 2: per-partition first-seen dedup over input-ordered buckets.
 	kept := make([][]int32, partitions)
-	forEachTask(workers, partitions, func(_, p int) {
+	err = forEachTask(env, "distinct-dedup", workers, partitions, func(_, p int) error {
 		seen := make(map[string]struct{})
 		var keyBuf []byte
+		var keyBytes int64
 		var local []int32
 		for _, b := range buckets {
 			for _, i := range b[p] {
 				keyBuf = keyBuf[:0]
 				for _, v := range in.Rows[i] {
-					keyBuf = appendValueKey(keyBuf, v)
+					keyBuf = appendTaggedKey(keyBuf, v)
 					keyBuf = append(keyBuf, 0)
 				}
 				if _, ok := seen[string(keyBuf)]; ok {
 					continue
 				}
 				seen[string(keyBuf)] = struct{}{}
+				keyBytes += int64(len(keyBuf))
 				local = append(local, i)
 			}
 		}
+		if err := env.reserve(sc, keyBytes+idxCost*int64(len(local))); err != nil {
+			return err
+		}
 		kept[p] = local
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Phase 3: merge survivors by input position — global first-seen order.
 	var all []int32
 	for _, k := range kept {
@@ -250,7 +363,12 @@ func runDistinctMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.T
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	out := newOutput(n, in)
-	for _, i := range all {
+	for j, i := range all {
+		if j%cancelPollRows == cancelPollRows-1 {
+			if err := env.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
 		out.MustAppend(in.Rows[i])
 	}
 	return out, nil
@@ -271,10 +389,15 @@ func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table
 		}
 		workerKeys[w] = evals
 	}
+	sc := env.scope()
+	defer sc.Release()
 	// Precompute sort keys in parallel: n evaluations instead of the
 	// comparator's n·log n.
+	if err := env.reserve(sc, int64(len(in.Rows))*(valueCost*int64(nK)+idxCost)); err != nil {
+		return nil, err
+	}
 	keys := make([]storage.Value, len(in.Rows)*nK)
-	forEachMorsel(workers, len(in.Rows), env.morselRows(), func(w, _, start, end int) {
+	err := forEachMorsel(env, "sort-keys", workers, len(in.Rows), env.morselRows(), func(w, _, start, end int) error {
 		evals := workerKeys[w]
 		for i := start; i < end; i++ {
 			kv := keys[i*nK : i*nK+nK]
@@ -282,12 +405,25 @@ func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table
 				kv[k] = ev(in.Rows[i])
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	idx := make([]int32, len(in.Rows))
 	for i := range idx {
 		idx[i] = int32(i)
 	}
+	// The comparator polls cancellation every cancelPollRows comparisons:
+	// the sort itself is the one phase that cannot stop at a morsel
+	// boundary, so this bounds its residual work after a cancel.
+	polled := 0
+	var cancelled error
 	sort.SliceStable(idx, func(a, b int) bool {
+		if polled++; polled >= cancelPollRows && cancelled == nil {
+			polled = 0
+			cancelled = env.cancelErr()
+		}
 		ia, ib := idx[a], idx[b]
 		for k := range n.SortKeys {
 			c := storage.Compare(keys[int(ia)*nK+k], keys[int(ib)*nK+k])
@@ -302,8 +438,16 @@ func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table
 		// stable sort preserves input order, matching serial exactly.
 		return compareRowsFull(in.Rows[ia], in.Rows[ib]) < 0
 	})
+	if cancelled != nil {
+		return nil, cancelled
+	}
 	out := newOutput(n, in)
-	for _, i := range idx {
+	for j, i := range idx {
+		if j%cancelPollRows == cancelPollRows-1 {
+			if err := env.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
 		out.MustAppend(in.Rows[i])
 	}
 	return out, nil

@@ -37,6 +37,15 @@ type ChaosPoint struct {
 	Recoveries  int
 	Replayed    int
 	Quarantined int
+	// Canceled / MemAborted / PanicsContained / CancelP99Ms are the
+	// governance-plane outcomes (mode "govern"): queries abandoned by
+	// caller cancellation, aborted over their memory budget, failed by a
+	// worker panic contained to a typed error, and the 99th-percentile
+	// cancel-to-idle latency in wall-clock milliseconds. Zero elsewhere.
+	Canceled        int
+	MemAborted      int
+	PanicsContained int
+	CancelP99Ms     float64
 }
 
 // ChaosResult is the fault-injection experiment (robustness extension, not
@@ -152,6 +161,15 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 			Replayed:    st.replayed,
 			Quarantined: st.quarantined,
 		})
+		// One govern-mode row per rate: the tuned system behind the
+		// serving frontend with the governance plane armed — exec-plane
+		// fault sites (contained panics, injected memory pressure, slow
+		// morsels) plus a caller-cancellation pattern.
+		gp, err := governChaosPoint(c, rate, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos govern rate %.2f: %w", rate, err)
+		}
+		res.Points = append(res.Points, gp)
 	}
 	return res, nil
 }
@@ -173,18 +191,19 @@ func chaosCrashProfile(rate float64) faults.Profile {
 // failure rate, for each variant and serving mode.
 func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "Chaos sweep: uniform failure rate vs TTI (seed %d)\n", r.Seed)
-	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s %6s %8s %6s\n",
+	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s %6s %8s %6s %6s %6s %6s %8s\n",
 		"rate", "variant", "mode", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbk", "sheds", "trips", "degraded",
-		"recov", "replayed", "quarn")
+		"recov", "replayed", "quarn", "cancel", "memab", "panics", "cp99ms")
 	for _, p := range r.Points {
 		pct := 0.0
 		if p.TTI > 0 {
 			pct = 100 * p.Recovery / p.TTI
 		}
-		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d %6d %8d %6d\n",
+		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d %6d %8d %6d %6d %6d %6d %8.1f\n",
 			100*p.Rate, p.Variant, p.Mode, p.TTI, p.Recovery, pct,
 			p.Retries, p.Fallbacks, p.Sheds, p.BreakerTrips, p.Degraded,
-			p.Recoveries, p.Replayed, p.Quarantined)
+			p.Recoveries, p.Replayed, p.Quarantined,
+			p.Canceled, p.MemAborted, p.PanicsContained, p.CancelP99Ms)
 	}
 	n := 0
 	if len(r.Points) > 0 {
@@ -193,6 +212,8 @@ func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "all %d-query sequential runs completed under every rate; serve rows add\n", n)
 	fprintf(w, "admission sheds, DW breaker trips and degraded HV-only service; crash rows\n")
 	fprintf(w, "add process kills survived via checkpoint+WAL recovery (recoveries,\n")
-	fprintf(w, "replayed records, quarantined views) on top of the retries, backoff and\n")
-	fprintf(w, "HV fallbacks charged by the fault plane\n")
+	fprintf(w, "replayed records, quarantined views); govern rows add caller cancellation,\n")
+	fprintf(w, "memory-budget aborts and contained worker panics with the p99\n")
+	fprintf(w, "cancel-to-idle latency, on top of the retries, backoff and HV fallbacks\n")
+	fprintf(w, "charged by the fault plane\n")
 }

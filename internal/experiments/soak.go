@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"miso/internal/govern"
 	"miso/internal/multistore"
 	"miso/internal/serve"
 	"miso/internal/workload"
@@ -114,8 +115,12 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 					latencies = append(latencies, lat)
 				case errors.Is(err, serve.ErrShed),
 					errors.Is(err, context.DeadlineExceeded),
-					errors.Is(err, context.Canceled):
-					// Expected serving outcomes; counted by the server.
+					errors.Is(err, context.Canceled),
+					errors.Is(err, govern.ErrMemLimit),
+					errors.Is(err, govern.ErrInternal):
+					// Expected serving outcomes — sheds, deadline/cancel
+					// abandons, memory-budget aborts, contained panics —
+					// counted by the server.
 				default:
 					if hardErr == nil {
 						hardErr = fmt.Errorf("experiments: soak session %d query %d: %w", session, i, err)
@@ -171,8 +176,8 @@ func (r *SoakResult) WriteText(w io.Writer) {
 	fprintf(w, "wall %-10s throughput %.1f q/s   latency p50 %s  p99 %s\n",
 		r.Wall.Round(time.Millisecond), r.QPS,
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
-	fprintf(w, "submitted %d: completed %d, shed %d, timed out %d, canceled %d, failed %d\n",
-		m.Submitted, m.Completed, m.Sheds, m.Timeouts, m.Canceled, m.Failed)
+	fprintf(w, "submitted %d: completed %d, shed %d, timed out %d, canceled %d, mem-aborted %d, panics contained %d, failed %d\n",
+		m.Submitted, m.Completed, m.Sheds, m.Timeouts, m.Canceled, m.Aborted, m.PanicsContained, m.Failed)
 	fprintf(w, "breaker: %d trips, %d probes; degraded %d; reorgs %d (%d drain cancels)\n",
 		m.BreakerTrips, m.BreakerProbes, m.Degraded, m.Reorgs, m.ReorgCancels)
 	sm := r.System

@@ -57,6 +57,17 @@ const (
 	// SiteViewCorrupt flips bytes in a durably stored view or transferred
 	// working set, detected later by a content-checksum mismatch.
 	SiteViewCorrupt
+	// SiteExecPanic panics a morsel worker goroutine mid-operator. The
+	// governance plane contains it: the query fails with a typed
+	// govern.ErrInternal while the process and other queries survive.
+	SiteExecPanic
+	// SiteMemPressure fails a memory reservation in the exec engine as if
+	// the query's ledger were exhausted, aborting it with govern.ErrMemLimit.
+	SiteMemPressure
+	// SiteSlowMorsel stalls one morsel's processing by a small bounded
+	// wall-clock sleep (frac-scaled), creating straggler workers that
+	// exercise cancellation latency under load.
+	SiteSlowMorsel
 
 	numSites
 )
@@ -65,7 +76,7 @@ var siteNames = [numSites]string{
 	"hv-stage", "hdfs-write", "transfer-dump", "transfer-net",
 	"transfer-load", "dw-load", "dw-query", "reorg-move",
 	"crash-reorg", "crash-transfer", "crash-serve", "wal-write",
-	"view-corrupt",
+	"view-corrupt", "exec-panic", "mem-pressure", "slow-morsel",
 }
 
 func (s Site) String() string {
@@ -90,12 +101,19 @@ type Profile struct {
 	CrashServe    float64
 	WALWrite      float64
 	ViewCorrupt   float64
+	ExecPanic     float64
+	MemPressure   float64
+	SlowMorsel    float64
 }
 
 // Uniform returns a profile with the same rate at every operational site.
 // Crash, WAL-tear, and corruption sites stay zero: they terminate or poison
 // the process rather than one operation, so they are only meaningful under
-// a harness that recovers (see Profile.With and the crash sweep).
+// a harness that recovers (see Profile.With and the crash sweep). The
+// exec-plane governance sites (exec-panic, mem-pressure, slow-morsel) also
+// stay zero: they fire inside concurrent morsel workers, so which query
+// absorbs a draw depends on goroutine scheduling — arm them explicitly
+// when exercising the governance plane (see the governance sweep).
 func Uniform(rate float64) Profile {
 	return Profile{
 		HVStage: rate, HDFSWrite: rate,
@@ -133,6 +151,12 @@ func (p Profile) With(s Site, rate float64) Profile {
 		p.WALWrite = rate
 	case SiteViewCorrupt:
 		p.ViewCorrupt = rate
+	case SiteExecPanic:
+		p.ExecPanic = rate
+	case SiteMemPressure:
+		p.MemPressure = rate
+	case SiteSlowMorsel:
+		p.SlowMorsel = rate
 	}
 	return p
 }
@@ -166,9 +190,24 @@ func (p Profile) Rate(s Site) float64 {
 		return p.WALWrite
 	case SiteViewCorrupt:
 		return p.ViewCorrupt
+	case SiteExecPanic:
+		return p.ExecPanic
+	case SiteMemPressure:
+		return p.MemPressure
+	case SiteSlowMorsel:
+		return p.SlowMorsel
 	default:
 		return 0
 	}
+}
+
+// ExecOnly returns a profile carrying only the exec-plane governance
+// sites, for the separate injector the exec engine draws from. Keeping
+// exec draws off the main injector preserves the main sequence's
+// determinism: concurrent morsel workers never perturb the globally
+// ordered draws of the serialized stage/transfer/crash sites.
+func (p Profile) ExecOnly() Profile {
+	return Profile{ExecPanic: p.ExecPanic, MemPressure: p.MemPressure, SlowMorsel: p.SlowMorsel}
 }
 
 // Zero reports whether every site's rate is zero (injection disabled).

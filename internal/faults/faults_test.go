@@ -155,8 +155,9 @@ func TestProfileRateMapping(t *testing.T) {
 		TransferLoad: 0.5, DWLoad: 0.6, DWQuery: 0.7, ReorgMove: 0.8,
 		CrashReorg: 0.01, CrashTransfer: 0.02, CrashServe: 0.03,
 		WALWrite: 0.04, ViewCorrupt: 0.05,
+		ExecPanic: 0.06, MemPressure: 0.07, SlowMorsel: 0.08,
 	}
-	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.01, 0.02, 0.03, 0.04, 0.05}
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08}
 	if len(want) != int(numSites) {
 		t.Fatalf("test covers %d sites, have %d", len(want), numSites)
 	}
@@ -175,9 +176,11 @@ func TestProfileRateMapping(t *testing.T) {
 	if u.Rate(SiteHVStage) != 0.05 || u.Rate(SiteReorgMove) != 0.05 {
 		t.Error("Uniform wrong")
 	}
-	// Uniform must leave crash/WAL/corruption sites disabled: they need a
-	// recovery harness, and keeping them out preserves chaos comparability.
-	for _, s := range []Site{SiteCrashReorg, SiteCrashTransfer, SiteCrashServe, SiteWALWrite, SiteViewCorrupt} {
+	// Uniform must leave crash/WAL/corruption sites disabled (they need a
+	// recovery harness) and the exec-plane governance sites disabled (they
+	// fire inside concurrent workers); keeping them out preserves chaos
+	// comparability.
+	for _, s := range []Site{SiteCrashReorg, SiteCrashTransfer, SiteCrashServe, SiteWALWrite, SiteViewCorrupt, SiteExecPanic, SiteMemPressure, SiteSlowMorsel} {
 		if u.Rate(s) != 0 {
 			t.Errorf("Uniform set crash site %s to %v", s, u.Rate(s))
 		}
@@ -186,5 +189,12 @@ func TestProfileRateMapping(t *testing.T) {
 		if got := (Profile{}).With(s, 0.5).Rate(s); got != 0.5 {
 			t.Errorf("With(%s) rate = %v", s, got)
 		}
+	}
+	ex := p.ExecOnly()
+	if ex.ExecPanic != 0.06 || ex.MemPressure != 0.07 || ex.SlowMorsel != 0.08 {
+		t.Error("ExecOnly dropped exec-plane rates")
+	}
+	if ex.HVStage != 0 || ex.CrashServe != 0 || ex.WALWrite != 0 {
+		t.Error("ExecOnly kept non-exec rates")
 	}
 }

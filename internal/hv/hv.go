@@ -17,6 +17,7 @@ import (
 
 	"miso/internal/exec"
 	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/logical"
 	"miso/internal/stats"
 	"miso/internal/storage"
@@ -87,6 +88,8 @@ type Store struct {
 	inj       *faults.Injector
 	retry     faults.RetryPolicy
 	execStats *exec.Stats
+	execInj   *faults.Injector
+	gov       *govern.Ledger
 
 	// Views is the HV view set (the store's physical design).
 	Views *views.Set
@@ -111,6 +114,17 @@ func (s *Store) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
 // store hands out (nil detaches).
 func (s *Store) SetExecStats(st *exec.Stats) { s.execStats = st }
 
+// SetExecFaults arms the exec engine's fault sites (worker panics, memory
+// pressure, slow morsels) with their own injector, separate from the
+// store-level one so concurrent morsel draws never perturb the serialized
+// stage/transfer draw sequence. Nil disables (the default).
+func (s *Store) SetExecFaults(inj *faults.Injector) { s.execInj = inj }
+
+// SetGovernor attaches the current query's memory ledger to every Env the
+// store hands out; the multistore sets it per query and clears it after
+// (queries are serialized, so there is never more than one). Nil detaches.
+func (s *Store) SetGovernor(l *govern.Ledger) { s.gov = l }
+
 // Env returns the execution environment resolving logs and HV views.
 func (s *Store) Env() *exec.Env {
 	return &exec.Env{
@@ -124,6 +138,8 @@ func (s *Store) Env() *exec.Env {
 		},
 		Workers: s.cfg.ExecWorkers,
 		Stats:   s.execStats,
+		Mem:     s.gov,
+		Inj:     s.execInj,
 	}
 }
 
@@ -200,6 +216,7 @@ func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
 // books it under RECOVERY).
 func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int) (*Result, error) {
 	env := s.Env()
+	env.Ctx = ctx
 	mat := MaterializedNodes(plan)
 	tables := map[*logical.Node]*storage.Table{}
 
@@ -222,6 +239,12 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 		}
 		t, err := exec.RunNode(n, env, inputs)
 		if err != nil {
+			return nil, err
+		}
+		// Materialized intermediates are the query's working set: charge
+		// their real (raw) bytes to the ledger. The multistore releases
+		// the whole ledger when the query ends.
+		if err := s.gov.Reserve(t.RawBytes()); err != nil {
 			return nil, err
 		}
 		tables[n] = t

@@ -20,6 +20,7 @@ import (
 	"miso/internal/dw"
 	"miso/internal/exec"
 	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/history"
 	"miso/internal/hv"
 	"miso/internal/logical"
@@ -91,6 +92,18 @@ type Config struct {
 	// byte-identical at every setting; only real wall-clock changes. A
 	// nonzero value overrides HV.ExecWorkers and DW.ExecWorkers.
 	ExecWorkers int
+
+	// MemLimitBytes caps the execution memory of a single query: extract
+	// buffers, hash partitions, sort keys, and materialized intermediates
+	// are charged against a per-query ledger, and a query that exceeds the
+	// limit aborts with an error wrapping govern.ErrMemLimit (its accrued
+	// work charged to Recovery). Zero disables the per-query limit.
+	MemLimitBytes int64
+	// MemPoolBytes caps the combined charged execution memory of every
+	// query the system runs (the server-wide reservation pool). Zero
+	// disables the pool. With both fields zero no ledger is attached and
+	// execution is byte-identical to a system with no memory governance.
+	MemPoolBytes int64
 }
 
 // DefaultConfig returns the paper's setup for the given variant; view
@@ -143,6 +156,14 @@ type Metrics struct {
 	// cancellation; their partial work is charged to Recovery and they do
 	// not count toward Queries.
 	Canceled int
+	// MemAborted counts queries aborted for exceeding their memory budget
+	// (per-query limit or server-wide pool); like canceled queries, their
+	// partial work is charged to Recovery.
+	MemAborted int
+	// PanicsContained counts queries that failed because a worker panic was
+	// caught and converted to a typed error instead of crashing the
+	// process; their partial work is charged to Recovery.
+	PanicsContained int
 	// Degraded counts queries forced onto the HV-only path by the serving
 	// layer (DW circuit breaker open). They complete and count toward
 	// Queries; their time is charged to HVExe like any HV execution.
@@ -224,6 +245,8 @@ type System struct {
 	opt     *optimizer.Optimizer
 	window  *history.Window
 	inj     *faults.Injector
+	execInj *faults.Injector
+	memPool *govern.Pool
 	retry   faults.RetryPolicy
 
 	future  []history.Entry
@@ -298,6 +321,12 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	retry := cfg.Retry.OrDefault()
 	inj := faults.NewInjector(cfg.Faults, cfg.FaultSeed) // nil for an all-zero profile
 	h.SetFaults(inj, retry)
+	// The exec-plane sites get their own injector: morsel workers draw from
+	// it concurrently, which must never perturb the main injector's
+	// globally-ordered deterministic draw sequence.
+	execInj := faults.NewInjector(cfg.Faults.ExecOnly(), cfg.FaultSeed+1)
+	h.SetExecFaults(execInj)
+	d.SetExecFaults(execInj)
 	s := &System{
 		cfg:     cfg,
 		cat:     cat,
@@ -308,6 +337,8 @@ func New(cfg Config, cat *storage.Catalog) *System {
 		opt:     opt,
 		window:  history.NewWindow(cfg.HistoryLen, cfg.EpochLen, cfg.Decay),
 		inj:     inj,
+		execInj: execInj,
+		memPool: govern.NewPool(cfg.MemPoolBytes), // nil when unlimited
 		retry:   retry,
 	}
 	if cfg.CheckpointEvery > 0 {
@@ -363,6 +394,14 @@ func (s *System) Metrics() Metrics {
 // FaultInjector returns the system's fault injector (nil when injection
 // is disabled); useful for inspecting injected-failure counts.
 func (s *System) FaultInjector() *faults.Injector { return s.inj }
+
+// ExecFaultInjector returns the separate injector arming the exec engine's
+// fault sites (nil when no exec-plane rates are configured).
+func (s *System) ExecFaultInjector() *faults.Injector { return s.execInj }
+
+// MemPool returns the server-wide execution-memory pool (nil when
+// MemPoolBytes is 0).
+func (s *System) MemPool() *govern.Pool { return s.memPool }
 
 // Reports returns deep copies of the per-query execution reports in
 // submission order: callers can neither observe nor cause races on
@@ -439,18 +478,23 @@ func (s *System) Run(sql string) (*QueryReport, error) {
 
 // RunContext submits one query under a context. When ctx is canceled or
 // its deadline fires, the query is abandoned at the next phase boundary
-// (between HV stages, before a transfer, before the DW part): the work it
+// (between HV stages, before a transfer, before the DW part) and, inside
+// the morsel engine, at the next morsel claim or merge poll: the work it
 // had already paid for is charged to the RECOVERY TTI component, Canceled
 // is incremented, and the returned error wraps ctx.Err(). A query whose
 // context is already done before any work starts returns an error without
-// charging anything. With a background context RunContext is byte-
-// identical to Run.
+// charging anything. The same abandonment path books queries that exceed
+// their memory budget (error wraps govern.ErrMemLimit, counted in
+// MemAborted) and queries felled by a contained worker panic (error wraps
+// govern.ErrInternal, counted in PanicsContained). With a background
+// context and no memory limits, RunContext is byte-identical to Run.
 func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
+	defer s.attachLedger()()
 	s.beginOp()
 	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
@@ -492,6 +536,7 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
+	defer s.attachLedger()()
 	s.beginOp()
 	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
@@ -505,8 +550,8 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	rewritten := optimizer.RewriteWithViews(plan, s.hv.Views)
 	res, err := s.hv.ExecuteContext(ctx, rewritten, entry.Seq)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, &QueryReport{Seq: entry.Seq, SQL: sql}, entry.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, &QueryReport{Seq: entry.Seq, SQL: sql}, entry.Seq)
 		}
 		return nil, fmt.Errorf("multistore: degraded query %d in HV: %w", entry.Seq, err)
 	}
@@ -542,18 +587,60 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// abandon books a query canceled mid-plan: every simulated second it had
-// already accrued (completed HV cuts, transfers, DW work, recovery) is
-// charged to RECOVERY — work done and thrown away — and staged temp
-// tables are discarded. Returns the typed cancellation error.
-func (s *System) abandon(ctx context.Context, rep *QueryReport, seq int) error {
+// isAbortErr reports whether err is a governed per-query abort — context
+// cancellation/deadline, a memory-budget violation, or a contained worker
+// panic — as opposed to a store or plan failure. Governed aborts are booked
+// by abandon rather than wrapped as execution errors.
+func isAbortErr(err error) bool {
+	return isCtxErr(err) || errors.Is(err, govern.ErrMemLimit) || errors.Is(err, govern.ErrInternal)
+}
+
+// attachLedger creates the per-query memory ledger (nil when no limit and
+// no pool are configured — then governance costs nothing and changes
+// nothing), attaches it to both stores, and returns the cleanup that
+// detaches it and releases every byte it still holds. Queries run one at a
+// time under s.mu, so a single attached ledger is always the current
+// query's; the server-wide pool still meters concurrent Systems or any
+// future intra-system concurrency sharing it.
+func (s *System) attachLedger() func() {
+	led := govern.NewLedger(s.cfg.MemLimitBytes, s.memPool)
+	if led == nil {
+		return func() {}
+	}
+	s.hv.SetGovernor(led)
+	s.dw.SetGovernor(led)
+	return func() {
+		s.hv.SetGovernor(nil)
+		s.dw.SetGovernor(nil)
+		led.ReleaseAll()
+	}
+}
+
+// abandon books a query that died mid-plan to a governed abort: every
+// simulated second it had already accrued (completed HV cuts, transfers,
+// DW work, recovery) is charged to RECOVERY — work done and thrown away —
+// and staged temp tables are discarded. The cause classifies the abort:
+// context errors count as Canceled, memory-budget violations as
+// MemAborted, contained worker panics as PanicsContained. Returns a typed
+// error wrapping the cause.
+func (s *System) abandon(cause error, rep *QueryReport, seq int) error {
 	wasted := rep.HVSeconds + rep.TransferSeconds + rep.DWSeconds + rep.RecoverySeconds
 	s.metrics.Recovery += wasted
 	s.metrics.Retries += rep.Retries
-	s.metrics.Canceled++
+	verb := "abandoned mid-plan"
+	switch {
+	case errors.Is(cause, govern.ErrMemLimit):
+		s.metrics.MemAborted++
+		verb = "aborted over memory budget"
+	case errors.Is(cause, govern.ErrInternal):
+		s.metrics.PanicsContained++
+		verb = "failed by a contained panic"
+	default:
+		s.metrics.Canceled++
+	}
 	s.dw.ClearTemp()
-	return fmt.Errorf("multistore: query %d abandoned mid-plan (%.1fs charged to recovery): %w",
-		seq, wasted, ctx.Err())
+	return fmt.Errorf("multistore: query %d %s (%.1fs charged to recovery): %w",
+		seq, verb, wasted, cause)
 }
 
 func (s *System) runVariant(ctx context.Context, e history.Entry) (*QueryReport, error) {

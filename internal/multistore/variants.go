@@ -19,8 +19,8 @@ import (
 func (s *System) runHVOnly(ctx context.Context, e history.Entry) (*QueryReport, error) {
 	res, err := s.hv.ExecuteContext(ctx, e.Plan, e.Seq)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, &QueryReport{}, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
@@ -45,8 +45,8 @@ func (s *System) runHVOp(ctx context.Context, e history.Entry) (*QueryReport, er
 	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
 	res, err := s.hv.ExecuteContext(ctx, plan, e.Seq)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, &QueryReport{}, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 	}
@@ -82,8 +82,8 @@ func (s *System) runDWOnly(ctx context.Context, e history.Entry) (*QueryReport, 
 	}
 	res, err := s.dw.ExecuteContext(ctx, plan)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, &QueryReport{}, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, &QueryReport{}, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
@@ -119,8 +119,8 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 	if mp.HVOnly {
 		res, err := s.hv.ExecuteContext(ctx, mp.HVPlan, e.Seq)
 		if err != nil {
-			if isCtxErr(err) {
-				return nil, s.abandon(ctx, rep, e.Seq)
+			if isAbortErr(err) {
+				return nil, s.abandon(err, rep, e.Seq)
 			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
@@ -146,8 +146,8 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 		bypassed = false
 		res, err := s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
 		if err != nil {
-			if isCtxErr(err) {
-				return nil, s.abandon(ctx, rep, e.Seq)
+			if isAbortErr(err) {
+				return nil, s.abandon(err, rep, e.Seq)
 			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
@@ -162,7 +162,7 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 		// abandoned query must not consume injector draws the sequential
 		// path would have used differently.
 		if ctx.Err() != nil {
-			return nil, s.abandon(ctx, rep, e.Seq)
+			return nil, s.abandon(ctx.Err(), rep, e.Seq)
 		}
 		bytes := res.Table.LogicalBytes()
 		sum := storage.ChecksumTable(res.Table)
@@ -215,12 +215,12 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 	rep.BypassedHV = bypassed
 
 	if ctx.Err() != nil {
-		return nil, s.abandon(ctx, rep, e.Seq)
+		return nil, s.abandon(ctx.Err(), rep, e.Seq)
 	}
 	dwRes, err := s.dw.ExecuteContext(ctx, mp.DWPart)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, rep, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, rep, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
@@ -273,8 +273,8 @@ func (s *System) fallbackHV(ctx context.Context, e history.Entry, rep *QueryRepo
 	plan := optimizer.RewriteWithViews(e.Plan, s.hv.Views)
 	res, err := s.hv.ExecuteContext(ctx, plan, e.Seq)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, rep, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, rep, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d failed (%v) and its HV fallback failed too: %w", e.Seq, cause, err)
 	}
@@ -316,8 +316,8 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 	if mp.HVOnly {
 		res, err := s.hv.ExecuteContext(ctx, mp.HVPlan, e.Seq)
 		if err != nil {
-			if isCtxErr(err) {
-				return nil, s.abandon(ctx, rep, e.Seq)
+			if isAbortErr(err) {
+				return nil, s.abandon(err, rep, e.Seq)
 			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
@@ -343,8 +343,8 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		bypassed = false
 		res, err := s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
 		if err != nil {
-			if isCtxErr(err) {
-				return nil, s.abandon(ctx, rep, e.Seq)
+			if isAbortErr(err) {
+				return nil, s.abandon(err, rep, e.Seq)
 			}
 			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
@@ -355,7 +355,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		rep.NewViews += len(res.NewViews)
 		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
 		if ctx.Err() != nil {
-			return nil, s.abandon(ctx, rep, e.Seq)
+			return nil, s.abandon(ctx.Err(), rep, e.Seq)
 		}
 		bytes := res.Table.LogicalBytes()
 		sum := storage.ChecksumTable(res.Table)
@@ -432,12 +432,12 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 	}
 	rep.BypassedHV = bypassed
 	if ctx.Err() != nil {
-		return nil, s.abandon(ctx, rep, e.Seq)
+		return nil, s.abandon(ctx.Err(), rep, e.Seq)
 	}
 	dwRes, err := s.dw.ExecuteContext(ctx, mp.DWPart)
 	if err != nil {
-		if isCtxErr(err) {
-			return nil, s.abandon(ctx, rep, e.Seq)
+		if isAbortErr(err) {
+			return nil, s.abandon(err, rep, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}

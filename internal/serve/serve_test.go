@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/multistore"
 )
 
@@ -339,6 +341,42 @@ func TestReorganizeDrainsAndCancelsStragglers(t *testing.T) {
 	backend.block = nil
 	if _, err := srv.Do(context.Background(), "after"); err != nil {
 		t.Fatalf("query after reorg: %v", err)
+	}
+}
+
+// TestMetricsGovernanceCounters checks the serving plane books the
+// governance outcomes — memory-budget aborts, contained worker panics —
+// in their own counters, keeps counting completions, and still satisfies
+// the accounting invariant.
+func TestMetricsGovernanceCounters(t *testing.T) {
+	backend := &stubBackend{run: func(sql string) (*multistore.QueryReport, error) {
+		switch sql {
+		case "mem":
+			return nil, fmt.Errorf("query aborted: %w", govern.ErrMemLimit)
+		case "panic":
+			panic("injected worker panic")
+		}
+		return &multistore.QueryReport{SQL: sql}, nil
+	}}
+	srv := NewServer(Config{Workers: 1}, backend)
+	defer srv.Close()
+
+	if _, err := srv.Do(context.Background(), "mem"); !errors.Is(err, govern.ErrMemLimit) {
+		t.Fatalf("mem query: err = %v, want ErrMemLimit", err)
+	}
+	if _, err := srv.Do(context.Background(), "panic"); !errors.Is(err, govern.ErrInternal) {
+		t.Fatalf("panic query: err = %v, want ErrInternal", err)
+	}
+	if _, err := srv.Do(context.Background(), "ok"); err != nil {
+		t.Fatalf("ok query after a contained panic: %v", err)
+	}
+
+	m := srv.Metrics()
+	if m.Aborted != 1 || m.PanicsContained != 1 || m.Completed != 1 {
+		t.Fatalf("metrics = %+v, want 1 aborted / 1 panic contained / 1 completed", m)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/multistore"
 )
 
@@ -82,8 +84,8 @@ func (c Config) withDefaults() Config {
 }
 
 // Metrics counts what the serving plane did. Every submission lands in
-// exactly one of Completed, Sheds, Timeouts, Canceled, or Failed, so
-// Submitted always equals their sum.
+// exactly one of Completed, Sheds, Timeouts, Canceled, Aborted,
+// PanicsContained, or Failed, so Submitted always equals their sum.
 type Metrics struct {
 	// Submitted counts calls to Do that passed the closed check.
 	Submitted int
@@ -97,6 +99,14 @@ type Metrics struct {
 	// Canceled counts queries abandoned by caller- or drain-initiated
 	// cancellation.
 	Canceled int
+	// Aborted counts queries killed for exceeding their memory budget
+	// (the backend error wraps govern.ErrMemLimit).
+	Aborted int
+	// PanicsContained counts queries that failed because a worker panic —
+	// in the exec engine or the serving worker itself — was caught and
+	// converted to a typed error (wrapping govern.ErrInternal) instead of
+	// crashing the process.
+	PanicsContained int
 	// Failed counts queries that errored for any other reason.
 	Failed int
 	// Degraded counts completed queries served on the forced HV-only
@@ -116,7 +126,8 @@ type Metrics struct {
 
 // Check verifies the accounting invariant.
 func (m Metrics) Check() error {
-	if sum := m.Completed + m.Sheds + m.Timeouts + m.Canceled + m.Failed; sum != m.Submitted {
+	sum := m.Completed + m.Sheds + m.Timeouts + m.Canceled + m.Aborted + m.PanicsContained + m.Failed
+	if sum != m.Submitted {
 		return fmt.Errorf("serve: %d submissions but outcomes sum to %d", m.Submitted, sum)
 	}
 	return nil
@@ -131,6 +142,11 @@ type job struct {
 	ctx  context.Context
 	sql  string
 	done chan jobResult
+	// canceledAt is the wall-clock nanosecond the job's context was
+	// canceled (stamped by a context.AfterFunc), or 0 while live. The
+	// worker reads it after the backend returns to measure cancel-to-idle
+	// latency: how long a canceled query kept its worker busy.
+	canceledAt atomic.Int64
 }
 
 // Server is the serving frontend. Create it with NewServer; Do submits
@@ -151,11 +167,12 @@ type Server struct {
 	// read, Reorganize holds it for write.
 	gate sync.RWMutex
 
-	mu       sync.Mutex // guards closed, metrics, inflight, nextID
-	closed   bool
-	metrics  Metrics
-	inflight map[int]context.CancelFunc
-	nextID   int
+	mu        sync.Mutex // guards closed, metrics, inflight, nextID, cancelLat
+	closed    bool
+	metrics   Metrics
+	inflight  map[int]context.CancelFunc
+	nextID    int
+	cancelLat []time.Duration
 }
 
 // NewServer starts the worker pool over the backend.
@@ -224,6 +241,10 @@ func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, e
 		s.metrics.Timeouts++
 	case errors.Is(res.err, context.Canceled):
 		s.metrics.Canceled++
+	case errors.Is(res.err, govern.ErrMemLimit):
+		s.metrics.Aborted++
+	case errors.Is(res.err, govern.ErrInternal):
+		s.metrics.PanicsContained++
 	default:
 		s.metrics.Failed++
 	}
@@ -235,10 +256,38 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		s.gate.RLock()
-		res := s.execute(j)
+		// Stamp the moment the job's context dies so cancel-to-idle
+		// latency can be measured when the backend hands the worker back.
+		stop := context.AfterFunc(j.ctx, func() {
+			j.canceledAt.Store(time.Now().UnixNano())
+		})
+		var res jobResult
+		// Last-resort containment: a panic that escapes the backend's own
+		// recovery (or lives in the serving plane itself) fails this query
+		// with a typed error instead of crashing the whole server.
+		if err := govern.Capture("serve worker", func() error {
+			res = s.execute(j)
+			return nil
+		}); err != nil {
+			res = jobResult{err: err}
+		}
+		stop()
+		if at := j.canceledAt.Load(); at != 0 && isCancelErr(res.err) {
+			lat := time.Since(time.Unix(0, at))
+			s.mu.Lock()
+			s.cancelLat = append(s.cancelLat, lat)
+			s.mu.Unlock()
+		}
 		s.gate.RUnlock()
 		j.done <- res
 	}
+}
+
+// isCancelErr reports whether err is how a canceled or timed-out query
+// surfaces from the backend.
+func isCancelErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // execute routes one query through the breaker and records the verdict.
@@ -325,6 +374,17 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Unlock()
 	_, m.BreakerTrips, m.BreakerProbes = s.br.snapshot()
 	return m
+}
+
+// CancelLatencies returns the cancel-to-idle latency of every canceled or
+// timed-out query served so far: the real time between the query's context
+// dying and its worker becoming free again. The governance plane's promise
+// is that these stay bounded — a canceled query cannot hold a worker
+// hostage past the next morsel claim or merge poll.
+func (s *Server) CancelLatencies() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.cancelLat...)
 }
 
 // BreakerState returns the breaker's current position.

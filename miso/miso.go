@@ -19,6 +19,7 @@ import (
 	"miso/internal/durability"
 	"miso/internal/exec"
 	"miso/internal/faults"
+	"miso/internal/govern"
 	"miso/internal/multistore"
 	"miso/internal/serve"
 	"miso/internal/storage"
@@ -194,6 +195,29 @@ const (
 	// checksum verification.
 	SiteViewCorrupt = faults.SiteViewCorrupt
 )
+
+// Exec-plane governance sites for FaultProfile.With: they exercise the
+// resource-governance plane (contained panics, memory-budget aborts,
+// bounded cancellation latency) rather than the crash-recovery path.
+const (
+	// SiteExecPanic panics inside a morsel worker; the engine converts it
+	// to an ErrInternal failure of that query alone.
+	SiteExecPanic = faults.SiteExecPanic
+	// SiteMemPressure injects a memory-budget denial at an exec
+	// reservation point, surfacing as ErrMemLimit.
+	SiteMemPressure = faults.SiteMemPressure
+	// SiteSlowMorsel stalls a morsel for up to 2ms of wall clock,
+	// stretching queries so cancellation latency is measurable.
+	SiteSlowMorsel = faults.SiteSlowMorsel
+)
+
+// ErrMemLimit marks a query aborted over its memory budget
+// (Config.MemLimitBytes / Config.MemPoolBytes); match with errors.Is.
+var ErrMemLimit = govern.ErrMemLimit
+
+// ErrInternal marks a query failed by a worker panic that was contained to
+// this typed error instead of terminating the process.
+var ErrInternal = govern.ErrInternal
 
 // ErrCrash marks a simulated process crash (an armed crash site fired, or a
 // WAL append tore); match it with errors.Is, then call Recover.
