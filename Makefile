@@ -1,19 +1,24 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos soak serve crash govern
+.PHONY: tier1 build vet test race bench chaos soak serve crash govern scenarios lint
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite under the race detector, and explicit runs of the
 # concurrent-serving soak, the crash-recovery regression, the
 # parallel-tuning determinism and concurrent what-if costing regressions,
-# the morsel-engine determinism regressions, and the governance
-# regressions (cancellation storm, panic isolation) — all race-enabled.
+# the morsel-engine determinism regressions, the governance regressions
+# (cancellation storm, panic isolation), and the overload-plane
+# regressions (hedge digest identity, breaker half-open contention,
+# quota fairness, pool storm, retry budgets) — all race-enabled.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSoak|TestServeMatchesSequentialRun|TestConcurrentWhatIfCostingDuringSoak|TestCancelFreesWorkersWithinBound|TestWorkerPanicIsolation|TestMetricsGovernanceCounters' -count 1 ./internal/serve/
+	$(GO) test -race -run 'TestBreakerHalfOpenContention|TestQuotaWeightedFairness|TestQuotaShedsAreTenantScoped|TestAdaptiveLimiter|TestOverloadPlaneDisabledIsNoOp' -count 1 ./internal/serve/
 	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem|TestStateDigestIdenticalAcrossTuneWorkers|TestStateDigestIdenticalAcrossExecWorkers' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestHedgeDigestIdentity|TestHedgeDisabledIsStrictNoOp|TestRetryBudgetCapsRecovery' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestPoolStorm' -count 1 ./internal/govern/
 	$(GO) test -race -run 'TestTuneDeterministicAcrossWorkerCounts' -count 1 ./internal/core/
 	$(GO) test -race -run 'TestMorselEngineByteIdenticalToSerial|TestMorselEngineFullWorkloadDigest|TestSortFullRowTieBreak' -count 1 ./internal/exec/
 
@@ -55,3 +60,15 @@ crash:
 
 govern:
 	$(GO) run ./cmd/misobench -benchgov -scale small
+
+# scenarios runs the multi-tenant overload scenario matrix (flash crowd,
+# Zipf skew, diurnal shift, drift burst, ETL storm, DW brownout) and
+# fails if any scenario misses its acceptance checks.
+scenarios:
+	$(GO) run ./cmd/misobench -scenarios -scale small
+
+# lint runs the static analyzers when they are installed; it skips them
+# with a note otherwise so offline checkouts still build.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi

@@ -1,19 +1,24 @@
 // Command misobench regenerates the tables and figures of the paper's
-// evaluation section. Each -fig/-table flag maps to one experiment; -all
-// runs everything in order. Use -scale small for a quick pass.
+// evaluation section plus the extension pipelines. Every experiment is a
+// named mode in one registry: -modes lists them, -mode runs any set of
+// them, and the legacy spelling flags (-fig, -table, -chaos, ...) remain
+// as shorthands for the same names.
 //
 // Usage:
 //
-//	misobench -fig 4            # Figure 4 (five-variant TTI comparison)
-//	misobench -fig 3.2          # the Section 3.2 two-query experiment
-//	misobench -table 2          # Table 2 (mutual impact)
-//	misobench -all -scale small # everything, quickly
-//	misobench -chaos            # fault-injection sweep (extension)
-//	misobench -crash            # crash-recovery sweep (durability extension)
-//	misobench -serve -scale small -sessions 8 -workers 4   # concurrent soak
-//	misobench -bench -scale small -benchout BENCH_tuner.json  # benchmark pipeline
-//	misobench -benchexec -scale small -benchexecout BENCH_exec.json  # exec engine benchmarks
-//	misobench -benchgov -scale small -benchgovout BENCH_governance.json  # governance pipeline
+//	misobench -modes                     # list every mode and its artifact
+//	misobench -mode fig4,scenarios       # run any modes by name
+//	misobench -fig 4                     # Figure 4 (five-variant TTI comparison)
+//	misobench -fig 3.2                   # the Section 3.2 two-query experiment
+//	misobench -table 2                   # Table 2 (mutual impact)
+//	misobench -all -scale small          # every paper figure/table, quickly
+//	misobench -chaos                     # fault-injection sweep (extension)
+//	misobench -crash                     # crash-recovery sweep (durability extension)
+//	misobench -serve -scale small -sessions 8 -workers 4    # concurrent soak
+//	misobench -bench -benchout BENCH_tuner.json             # benchmark pipeline
+//	misobench -benchexec -benchexecout BENCH_exec.json      # exec engine benchmarks
+//	misobench -benchgov -benchgovout BENCH_governance.json  # governance pipeline
+//	misobench -scenarios                 # overload scenario matrix -> BENCH_scenarios.json
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whatever experiments the invocation runs (see README.md).
@@ -22,19 +27,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"miso/internal/experiments"
 	"miso/internal/workload"
 )
 
+// mode is one registered experiment: a stable name, what it produces, and
+// the artifact file it can write (empty when it only prints).
+type mode struct {
+	name     string
+	desc     string
+	artifact string
+	run      func() error
+}
+
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 3, 3.2, 4, 5, 6, 7, 8, 9, or 'order' (extension)")
 	table := flag.String("table", "", "table to regenerate: 2")
-	all := flag.Bool("all", false, "regenerate every figure and table")
+	all := flag.Bool("all", false, "regenerate every paper figure and table")
+	listModes := flag.Bool("modes", false, "list every registered mode and exit")
+	modeList := flag.String("mode", "", "comma-separated mode names to run (see -modes)")
 	scale := flag.String("scale", "paper", "dataset scale: paper or small")
 	chaos := flag.Bool("chaos", false, "run the fault-injection sweep (robustness extension; not part of -all)")
 	crash := flag.Bool("crash", false, "run the crash-recovery sweep (durability extension; not part of -all)")
@@ -53,6 +71,9 @@ func main() {
 	benchExecOut := flag.String("benchexecout", "", "exec benchmark pipeline: also write the machine-readable JSON report to this file")
 	benchGov := flag.Bool("benchgov", false, "run the governance pipeline (cancellation storm, panic containment, memory budgets; not part of -all)")
 	benchGovOut := flag.String("benchgovout", "", "governance pipeline: also write the machine-readable JSON report to this file")
+	scenarios := flag.Bool("scenarios", false, "run the overload scenario matrix (flash crowd, tenant skew, diurnal, drift, ETL storm, DW brownout; not part of -all)")
+	scenariosOut := flag.String("scenariosout", "BENCH_scenarios.json", "scenario matrix: write the machine-readable JSON report to this file ('' disables)")
+	phaseDur := flag.Duration("phasedur", 0, "scenario matrix: duration of each load phase (0 = default)")
 	tuneWorkers := flag.Int("tuneworkers", 0, "tuner what-if worker pool size for all experiments (<= 1 keeps costing serial)")
 	execWorkers := flag.Int("execworkers", 0, "execution engine for all experiments: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
@@ -67,6 +88,259 @@ func main() {
 	cfg.FaultSeed = *faultSeed
 	cfg.TuneWorkers = *tuneWorkers
 	cfg.ExecWorkers = *execWorkers
+
+	writeJSON := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
+	// fig5 reuses fig4's result when both run in one invocation.
+	var fig4 *experiments.Fig4Result
+
+	registry := []mode{
+		{"fig3", "Figure 3: per-query HV vs DW execution profile", "", func() error {
+			r, err := experiments.Fig3(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig3.2", "Section 3.2: the two-query transfer experiment", "", func() error {
+			r, err := experiments.Sec32(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig4", "Figure 4: five-variant TTI comparison", "", func() error {
+			r, err := experiments.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			fig4 = r
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig5", "Figure 5: TTI speedup over HV-OP", "", func() error {
+			r, err := experiments.Fig5(cfg, fig4)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig6", "Figure 6: per-query time across the evolving workload", "", func() error {
+			names := make([]string, 0, 32)
+			for _, q := range workload.Evolving() {
+				names = append(names, q.Name)
+			}
+			r, err := experiments.Fig6(cfg, names)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig7", "Figure 7: tuning policy comparison", "", func() error {
+			r, err := experiments.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig8", "Figure 8: transfer budget sensitivity", "", func() error {
+			r, err := experiments.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"fig9", "Figure 9: storage budget sensitivity", "", func() error {
+			r, err := experiments.Fig9(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"table2", "Table 2: mutual impact of sharing the DW", "", func() error {
+			r, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"order", "workload order sensitivity (extension)", "", func() error {
+			r, err := experiments.OrderSensitivity(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"chaos", "fault-injection sweep (robustness extension)", "", func() error {
+			r, err := experiments.Chaos(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"crash", "crash-recovery sweep (durability extension)", "", func() error {
+			r, err := experiments.CrashSweep(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"bench", "benchmark pipeline: tuner, knapsack, serving", "BENCH_tuner.json", func() error {
+			r, err := experiments.Bench(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return writeJSON(*benchOut, r.WriteJSON)
+		}},
+		{"benchexec", "exec benchmark pipeline: morsel engine vs serial baseline", "BENCH_exec.json", func() error {
+			r, err := experiments.BenchExec(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return writeJSON(*benchExecOut, r.WriteJSON)
+		}},
+		{"benchgov", "governance pipeline: cancellation storm, panic containment, memory budgets", "BENCH_governance.json", func() error {
+			r, err := experiments.BenchGovern(cfg)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return writeJSON(*benchGovOut, r.WriteJSON)
+		}},
+		{"serve", "concurrent-serving soak (robustness extension)", "", func() error {
+			sc := experiments.DefaultSoak(cfg)
+			sc.Sessions = *sessions
+			sc.Queries = *squeries
+			sc.Workers = *workers
+			sc.Queue = *queue
+			sc.Timeout = *timeout
+			sc.ReorgEvery = *reorgEvery
+			r, err := experiments.Soak(sc)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			return nil
+		}},
+		{"scenarios", "overload scenario matrix: flash crowd, tenant skew, diurnal, drift churn, ETL storm, DW brownout", "BENCH_scenarios.json", func() error {
+			sc := experiments.DefaultScenarios(cfg)
+			sc.Workers = *workers
+			sc.Queue = *queue
+			if *phaseDur > 0 {
+				sc.PhaseDur = *phaseDur
+			}
+			r, err := experiments.RunScenarios(sc)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			if err := writeJSON(*scenariosOut, r.WriteJSON); err != nil {
+				return err
+			}
+			if !r.Passed() {
+				return fmt.Errorf("scenario matrix: one or more scenarios failed their acceptance checks")
+			}
+			return nil
+		}},
+	}
+	byName := map[string]*mode{}
+	for i := range registry {
+		byName[registry[i].name] = &registry[i]
+	}
+
+	printModes := func(w *os.File) {
+		fmt.Fprintf(w, "%-12s %-24s %s\n", "MODE", "ARTIFACT", "DESCRIPTION")
+		for _, m := range registry {
+			art := m.artifact
+			if art == "" {
+				art = "-"
+			}
+			fmt.Fprintf(w, "%-12s %-24s %s\n", m.name, art, m.desc)
+		}
+	}
+	if *listModes {
+		printModes(os.Stdout)
+		return
+	}
+
+	unknown := func(name string) {
+		fmt.Fprintf(os.Stderr, "unknown mode %q; registered modes:\n", name)
+		printModes(os.Stderr)
+		os.Exit(2)
+	}
+
+	// Resolve the legacy spelling flags and -mode into registry names.
+	targets := map[string]bool{}
+	want := func(name string) {
+		if _, ok := byName[name]; !ok {
+			unknown(name)
+		}
+		targets[name] = true
+	}
+	if *all {
+		for _, t := range []string{"fig3", "fig3.2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "order"} {
+			want(t)
+		}
+	}
+	if *fig != "" {
+		name := "fig" + *fig
+		if *fig == "order" {
+			name = "order"
+		}
+		want(name)
+	}
+	if *table != "" {
+		want("table" + *table)
+	}
+	for f, name := range map[*bool]string{
+		chaos: "chaos", crash: "crash", serveSoak: "serve",
+		bench: "bench", benchExec: "benchexec", benchGov: "benchgov",
+		scenarios: "scenarios",
+	} {
+		if *f {
+			want(name)
+		}
+	}
+	if *modeList != "" {
+		for _, name := range strings.Split(*modeList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			want(name)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do; pass -mode, -fig, -table or -all (see -modes and -h)")
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -97,226 +371,15 @@ func main() {
 		}()
 	}
 
-	targets := map[string]bool{}
-	if *all {
-		for _, t := range []string{"3", "3.2", "4", "5", "6", "7", "8", "9", "t2", "order"} {
-			targets[t] = true
-		}
-	}
-	if *fig != "" {
-		targets[*fig] = true
-	}
-	if *table == "2" {
-		targets["t2"] = true
-	}
-	if *chaos {
-		targets["chaos"] = true
-	}
-	if *crash {
-		targets["crash"] = true
-	}
-	if *serveSoak {
-		targets["serve"] = true
-	}
-	if *bench {
-		targets["bench"] = true
-	}
-	if *benchExec {
-		targets["benchexec"] = true
-	}
-	if *benchGov {
-		targets["benchgov"] = true
-	}
-	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "nothing to do; pass -fig, -table or -all (see -h)")
-		os.Exit(2)
-	}
-
-	run := func(name string, fn func() error) {
-		if !targets[name] {
-			return
+	for _, m := range registry {
+		if !targets[m.name] {
+			continue
 		}
 		start := time.Now()
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+		if err := m.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", m.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %s wall clock]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %s wall clock]\n\n", m.name, time.Since(start).Round(time.Millisecond))
 	}
-
-	var fig4 *experiments.Fig4Result
-
-	run("3", func() error {
-		r, err := experiments.Fig3(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("3.2", func() error {
-		r, err := experiments.Sec32(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("4", func() error {
-		r, err := experiments.Fig4(cfg)
-		if err != nil {
-			return err
-		}
-		fig4 = r
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("5", func() error {
-		r, err := experiments.Fig5(cfg, fig4)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("6", func() error {
-		names := make([]string, 0, 32)
-		for _, q := range workload.Evolving() {
-			names = append(names, q.Name)
-		}
-		r, err := experiments.Fig6(cfg, names)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("7", func() error {
-		r, err := experiments.Fig7(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("8", func() error {
-		r, err := experiments.Fig8(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("9", func() error {
-		r, err := experiments.Fig9(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("t2", func() error {
-		r, err := experiments.Table2(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("order", func() error {
-		r, err := experiments.OrderSensitivity(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("chaos", func() error {
-		r, err := experiments.Chaos(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("crash", func() error {
-		r, err := experiments.CrashSweep(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
-	run("bench", func() error {
-		r, err := experiments.Bench(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		if *benchOut != "" {
-			f, err := os.Create(*benchOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := r.WriteJSON(f); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *benchOut)
-		}
-		return nil
-	})
-	run("benchexec", func() error {
-		r, err := experiments.BenchExec(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		if *benchExecOut != "" {
-			f, err := os.Create(*benchExecOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := r.WriteJSON(f); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *benchExecOut)
-		}
-		return nil
-	})
-	run("benchgov", func() error {
-		r, err := experiments.BenchGovern(cfg)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		if *benchGovOut != "" {
-			f, err := os.Create(*benchGovOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := r.WriteJSON(f); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *benchGovOut)
-		}
-		return nil
-	})
-	run("serve", func() error {
-		sc := experiments.DefaultSoak(cfg)
-		sc.Sessions = *sessions
-		sc.Queries = *squeries
-		sc.Workers = *workers
-		sc.Queue = *queue
-		sc.Timeout = *timeout
-		sc.ReorgEvery = *reorgEvery
-		r, err := experiments.Soak(sc)
-		if err != nil {
-			return err
-		}
-		r.WriteText(os.Stdout)
-		return nil
-	})
 }

@@ -32,6 +32,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the chosen multistore plan before running")
 	faultRate := flag.Float64("faultrate", 0, "uniform fault-injection rate (0 disables the fault plane)")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the deterministic fault injector")
+	tenant := flag.String("tenant", "", "tenant id the query is submitted as (surfaces per-tenant admission counters)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (0 disables; abandoned work is charged to RECOVERY)")
 	memLimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes (0 disables; exceeding aborts the query)")
 	ckptEvery := flag.Int("checkpointevery", 0, "journal design mutations and checkpoint full state every n operations (0 disables the durability plane)")
@@ -111,9 +112,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	srv := miso.NewServer(miso.ServeConfig{Workers: 1, QueryTimeout: *timeout}, sys)
-	rep, err := srv.Do(ctx, query)
+	rep, err := srv.DoAs(ctx, *tenant, query)
 	srv.Close()
 	sm := srv.Metrics()
+	tenantLine := ""
+	for _, ts := range srv.TenantStats() {
+		if ts.Tenant == "" {
+			continue // anonymous submissions have no per-tenant accounting to show
+		}
+		tenantLine += fmt.Sprintf(", tenant %q served %d shed %d", ts.Tenant, ts.Served, ts.Shed)
+	}
 	if err != nil {
 		m := sys.Metrics()
 		switch {
@@ -161,6 +169,8 @@ func main() {
 	}
 	fmt.Printf("opportunistic views created: %d\n", rep.NewViews)
 	fmt.Printf("%d result rows\n", rep.ResultRows)
+	fmt.Printf("serving: sheds %d, breaker trips %d, timeouts %d%s\n",
+		sm.Sheds, sm.BreakerTrips, sm.Timeouts, tenantLine)
 	if mgr := sys.Durability(); mgr != nil {
 		fmt.Printf("durability: %d WAL records (%d bytes), %d checkpoints\n",
 			mgr.WAL().Records(), mgr.WAL().LSN(), mgr.Checkpoints())

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBudgetDisabledIsNil: a non-positive budget is nil, and the nil
+// budget is the unlimited no-op every call site relies on.
+func TestBudgetDisabledIsNil(t *testing.T) {
+	if b := NewBudget(0); b != nil {
+		t.Fatalf("NewBudget(0) = %v, want nil (unlimited)", b)
+	}
+	if b := NewBudget(-3); b != nil {
+		t.Fatalf("NewBudget(-3) = %v, want nil", b)
+	}
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Take() {
+			t.Fatal("nil budget refused a retry")
+		}
+	}
+	if b.Spent() != 0 {
+		t.Fatalf("nil budget reports %d spent", b.Spent())
+	}
+	if b.Remaining() != -1 {
+		t.Fatalf("nil budget reports %d remaining, want -1", b.Remaining())
+	}
+}
+
+// TestBudgetDrains: Take grants exactly n retries, then refuses forever;
+// Spent and Remaining track the ledger.
+func TestBudgetDrains(t *testing.T) {
+	b := NewBudget(3)
+	for i := 0; i < 3; i++ {
+		if b.Remaining() != 3-i {
+			t.Fatalf("before take %d: remaining %d, want %d", i, b.Remaining(), 3-i)
+		}
+		if !b.Take() {
+			t.Fatalf("take %d refused inside the budget", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if b.Take() {
+			t.Fatal("exhausted budget granted a retry")
+		}
+	}
+	if b.Spent() != 3 || b.Remaining() != 0 {
+		t.Fatalf("spent %d remaining %d, want 3 and 0", b.Spent(), b.Remaining())
+	}
+}
+
+// TestBudgetErrorChain: a budget refusal surfaces as ErrBudget, which
+// must also match ErrExhausted so the fallback and breaker paths treat it
+// exactly like per-phase retry exhaustion.
+func TestBudgetErrorChain(t *testing.T) {
+	f := &Fault{Site: SiteDWQuery, Op: "query", Attempt: 2}
+	err := BudgetExhausted(f)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err %v does not match ErrBudget", err)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err %v does not match ErrExhausted", err)
+	}
+	var got *Fault
+	if !errors.As(err, &got) || got != f {
+		t.Fatalf("err %v does not carry the refused fault", err)
+	}
+}

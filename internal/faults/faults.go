@@ -309,6 +309,75 @@ func (r RetryPolicy) Backoff(attempt int) float64 {
 	return b
 }
 
+// Budget caps how many retries one query (or one reorganization phase)
+// may pay across every recovery path it touches — HV stage retries, the
+// resumable transfer pipeline, and DW query replays. The per-phase
+// RetryPolicy still bounds each individual phase; the budget bounds their
+// sum, so a fault storm degrades a query linearly instead of letting every
+// phase burn a full retry allowance. A nil Budget is valid and unlimited,
+// which keeps a zero-configured budget a strict no-op.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int
+	spent     int
+}
+
+// NewBudget returns a budget of n retries, or nil when n <= 0 (unlimited),
+// so the disabled configuration attaches nothing at all.
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	return &Budget{remaining: n}
+}
+
+// Take consumes one retry from the budget, reporting false when the budget
+// is exhausted (the caller then gives up with Exhausted instead of paying
+// another attempt). A nil budget always grants.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.remaining <= 0 {
+		return false
+	}
+	b.remaining--
+	b.spent++
+	return true
+}
+
+// Spent returns how many retries the budget has granted.
+func (b *Budget) Spent() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Remaining returns the retries left, or -1 for a nil (unlimited) budget.
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// ErrBudget marks a recovery path stopped by an exhausted retry budget
+// rather than its per-phase retry policy. It wraps ErrExhausted so every
+// existing fallback and breaker path treats it as exhaustion.
+var ErrBudget = fmt.Errorf("%w: query retry budget exhausted", ErrExhausted)
+
+// BudgetExhausted wraps the fault that the budget refused to retry.
+func BudgetExhausted(last *Fault) error {
+	return fmt.Errorf("%w (attempt %d): %w", ErrBudget, last.Attempt, last)
+}
+
 // Injector draws failures from a profile with a seeded generator. A nil
 // Injector is valid and never fails anything, so call sites need no
 // guards. Injector is safe for concurrent use: Check serializes draws

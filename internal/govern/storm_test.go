@@ -1,0 +1,92 @@
+package govern
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolStorm hammers a small shared pool from many goroutines, each
+// cycling reserve → work → release through its own ledger the way
+// concurrent queries share Config.MemPoolBytes. The storm must finish
+// (no deadlock), every goroutine must complete all its cycles (the
+// retry loop bounds starvation), the pool must never exceed capacity,
+// and after the storm every byte must be back (no lost refunds) — run
+// with -race.
+func TestPoolStorm(t *testing.T) {
+	const (
+		capacity   = 1 << 10 // 1 KiB shared across everyone
+		workers    = 32
+		cycles     = 50
+		perReserve = 256 // 4 concurrent holders max: heavy contention
+	)
+	pool := NewPool(capacity)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			led := NewLedger(0, pool)
+			for c := 0; c < cycles; c++ {
+				for {
+					err := led.Reserve(perReserve)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrMemLimit) {
+						t.Errorf("reserve failed with unexpected error: %v", err)
+						return
+					}
+					runtime.Gosched() // pool exhausted: yield and retry
+				}
+				if u := pool.Used(); u > capacity {
+					t.Errorf("pool over capacity: %d > %d", u, capacity)
+					led.ReleaseAll()
+					return
+				}
+				led.ReleaseAll()
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != workers*cycles {
+		t.Fatalf("%d cycles completed, want %d (a goroutine starved or died)", got, workers*cycles)
+	}
+	if u := pool.Used(); u != 0 {
+		t.Fatalf("pool leaks %d bytes after all ledgers released", u)
+	}
+}
+
+// TestPoolStormPartialReleases mixes per-allocation Release with
+// ReleaseAll under contention: interleaved partial refunds must not
+// corrupt the pool's accounting.
+func TestPoolStormPartialReleases(t *testing.T) {
+	pool := NewPool(4 << 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			led := NewLedger(0, pool)
+			for c := 0; c < 100; c++ {
+				if err := led.Reserve(64); err != nil {
+					runtime.Gosched()
+					continue
+				}
+				if err := led.Reserve(32); err == nil {
+					led.Release(32)
+				}
+				led.ReleaseAll()
+			}
+		}()
+	}
+	wg.Wait()
+	if u := pool.Used(); u != 0 {
+		t.Fatalf("pool leaks %d bytes after mixed partial/full releases", u)
+	}
+}

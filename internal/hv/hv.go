@@ -90,6 +90,10 @@ type Store struct {
 	execStats *exec.Stats
 	execInj   *faults.Injector
 	gov       *govern.Ledger
+	budget    *faults.Budget
+	// captureVeto, when set, suppresses opportunistic capture of views
+	// whose name it reports true for (see SetCaptureVeto).
+	captureVeto func(name string) bool
 
 	// Views is the HV view set (the store's physical design).
 	Views *views.Set
@@ -124,6 +128,20 @@ func (s *Store) SetExecFaults(inj *faults.Injector) { s.execInj = inj }
 // store hands out; the multistore sets it per query and clears it after
 // (queries are serialized, so there is never more than one). Nil detaches.
 func (s *Store) SetGovernor(l *govern.Ledger) { s.gov = l }
+
+// SetRetryBudget attaches the current query's shared retry budget,
+// consulted by the stage-retry loops alongside the per-phase policy; the
+// multistore sets it per query like the governor. Nil (the default) means
+// unlimited, leaving the retry loops byte-identical to the un-budgeted
+// ones.
+func (s *Store) SetRetryBudget(b *faults.Budget) { s.budget = b }
+
+// SetCaptureVeto installs a predicate consulted before an opportunistic
+// view capture publishes a new view. The multistore uses it to preserve
+// Vh ∩ Vd = ∅: an HV fallback that recomputes the definition of a
+// DW-resident view (the tuner moved it there) must not re-capture it in
+// HV. The veto runs during Commit, on the serialized query flow.
+func (s *Store) SetCaptureVeto(veto func(name string) bool) { s.captureVeto = veto }
 
 // Env returns the execution environment resolving logs and HV views.
 func (s *Store) Env() *exec.Env {
@@ -215,6 +233,42 @@ func (s *Store) Execute(plan *logical.Node, seq int) (*Result, error) {
 // had already accrued for earlier phases is its to charge (the multistore
 // books it under RECOVERY).
 func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int) (*Result, error) {
+	p, err := s.BeginExecute(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return p.Commit(ctx, seq)
+}
+
+// Pending is a plan execution whose data-path compute has finished but
+// whose bookkeeping — statistics records, simulated-time costing, fault
+// replay, opportunistic view capture — has not been performed. The hedging
+// path uses it to race the real (wall-clock) compute of the HV fallback
+// plan against the DW side without publishing any state: a Pending that is
+// simply dropped leaves the store byte-identical to one that never ran.
+type Pending struct {
+	s      *Store
+	plan   *logical.Node
+	out    *storage.Table
+	tables map[*logical.Node]*storage.Table
+	mat    map[*logical.Node]bool
+}
+
+// Table returns the computed result table (available before Commit; the
+// hedge verifies it byte-identical to the other racer's output).
+func (p *Pending) Table() *storage.Table { return p.out }
+
+// Plan returns the plan whose compute finished (the rewritten HV fallback
+// plan; the commit path books its views from it).
+func (p *Pending) Plan() *logical.Node { return p.plan }
+
+// BeginExecute runs only the compute phase of the plan: real tuples
+// through the exec engine, charged to the attached memory ledger, with
+// cooperative cancellation at every stage boundary and morsel claim. It
+// performs no injector draws and mutates no store state, so concurrent
+// BeginExecute calls are safe alongside a serialized query stream and an
+// abandoned Pending costs nothing.
+func (s *Store) BeginExecute(ctx context.Context, plan *logical.Node) (*Pending, error) {
 	env := s.Env()
 	env.Ctx = ctx
 	mat := MaterializedNodes(plan)
@@ -254,9 +308,41 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 	if err != nil {
 		return nil, fmt.Errorf("hv: executing plan: %w", err)
 	}
+	return &Pending{s: s, plan: plan, out: out, tables: tables, mat: mat}, nil
+}
+
+// Commit performs the deferred bookkeeping of a computed execution, in the
+// caller's serialized flow: statistics records, per-stage simulated-time
+// costing, the deterministic fault replay (which consumes main-injector
+// draws exactly where an undeferred execution would), and opportunistic
+// view capture. ExecuteContext is BeginExecute + Commit, so committing a
+// hedge shadow at the point the serial fallback would have executed yields
+// byte-identical state.
+func (p *Pending) Commit(ctx context.Context, seq int) (*Result, error) {
+	s, tables, mat, out := p.s, p.tables, p.mat, p.out
+
+	// Iterate every map in signature order: float accumulation and view
+	// capture must not depend on Go's randomized map iteration, or two
+	// identical runs drift by an ULP and the durable digest diverges.
+	sortedNodes := func(m map[*logical.Node]*storage.Table) []*logical.Node {
+		ns := make([]*logical.Node, 0, len(m))
+		for n := range m {
+			ns = append(ns, n)
+		}
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Signature() < ns[j].Signature() })
+		return ns
+	}
+	allNodes := sortedNodes(tables)
+	matNodes := make([]*logical.Node, 0, len(mat))
+	for _, n := range allNodes {
+		if _, ok := mat[n]; ok {
+			matNodes = append(matNodes, n)
+		}
+	}
 
 	// Record truth for every computed subtree.
-	for n, t := range tables {
+	for _, n := range allNodes {
+		t := tables[n]
 		s.est.Record(n.Signature(), stats.Stat{Rows: int64(t.NumRows()), Bytes: t.LogicalBytes()})
 	}
 
@@ -282,7 +368,7 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 		sec, writeSec float64
 	}
 	var stages []stageCost
-	for n := range mat {
+	for _, n := range matNodes {
 		normal, serde := stageInput(n, mat, size)
 		outBytes := tables[n].LogicalBytes()
 		sec := s.jobSeconds(normal, serde, outBytes)
@@ -294,19 +380,18 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 		}
 	}
 
-	// Fault plane: replay each stage against the injector in a
-	// deterministic order (map iteration above is not stable). A failed
-	// stage re-executes from its materialized inputs — the last job
-	// boundary — so only that stage's partial work plus backoff is lost,
-	// never the whole plan. This is exactly the fault tolerance the
-	// paper's by-product materializations buy.
+	// Fault plane: replay each stage against the injector in signature
+	// order (stages is already sorted that way). A failed stage
+	// re-executes from its materialized inputs — the last job boundary —
+	// so only that stage's partial work plus backoff is lost, never the
+	// whole plan. This is exactly the fault tolerance the paper's
+	// by-product materializations buy.
 	if s.inj.Enabled() {
-		sort.Slice(stages, func(i, j int) bool { return stages[i].sig < stages[j].sig })
 		for i, st := range stages {
-			if err := s.recoverPhase(faults.SiteHVStage, st.sec, res); err != nil {
+			if err := s.recoverPhase(ctx, faults.SiteHVStage, st.sec, res); err != nil {
 				return nil, fmt.Errorf("hv: stage %d/%d: %w", i+1, len(stages), err)
 			}
-			if err := s.recoverPhase(faults.SiteHDFSWrite, st.writeSec, res); err != nil {
+			if err := s.recoverPhase(ctx, faults.SiteHDFSWrite, st.writeSec, res); err != nil {
 				return nil, fmt.Errorf("hv: materializing stage %d/%d: %w", i+1, len(stages), err)
 			}
 		}
@@ -314,7 +399,7 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 
 	// Capture opportunistic views from stage outputs. Definitions are
 	// expanded to base-data terms so future raw plans match them.
-	for n := range mat {
+	for _, n := range matNodes {
 		if n.Kind == logical.KindViewScan {
 			continue
 		}
@@ -323,6 +408,9 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 			continue
 		}
 		name := views.NameForSig(def.Signature())
+		if s.captureVeto != nil && s.captureVeto(name) {
+			continue
+		}
 		if s.Views.Has(name) {
 			if v, _ := s.Views.Get(name); v != nil {
 				v.LastUsedSeq = seq
@@ -344,8 +432,10 @@ func (s *Store) ExecuteContext(ctx context.Context, plan *logical.Node, seq int)
 // recoverPhase simulates one stage phase (execution or HDFS write) under
 // the injector: each injected failure wastes the completed fraction of the
 // phase plus a backoff wait, all charged to RecoverySeconds. Exhausting
-// the retry policy fails the whole execution with a typed fault error.
-func (s *Store) recoverPhase(site faults.Site, sec float64, res *Result) error {
+// the retry policy — or the query's shared retry budget, or the caller's
+// deadline (no retry fits inside an expired deadline) — fails the whole
+// execution with a typed fault error.
+func (s *Store) recoverPhase(ctx context.Context, site faults.Site, sec float64, res *Result) error {
 	for attempt := 1; ; attempt++ {
 		failed, frac := s.inj.Check(site)
 		if !failed {
@@ -353,8 +443,14 @@ func (s *Store) recoverPhase(site faults.Site, sec float64, res *Result) error {
 		}
 		res.Retries++
 		res.RecoverySeconds += frac*sec + s.retry.Backoff(attempt)
-		if attempt >= s.retry.MaxAttempts {
-			return faults.Exhausted(&faults.Fault{Site: site, Op: "hv job", Attempt: attempt})
+		f := &faults.Fault{Site: site, Op: "hv job", Attempt: attempt}
+		switch {
+		case attempt >= s.retry.MaxAttempts:
+			return faults.Exhausted(f)
+		case ctx.Err() != nil:
+			return fmt.Errorf("abandoned before retry: %w", ctx.Err())
+		case !s.budget.Take():
+			return faults.BudgetExhausted(f)
 		}
 	}
 }

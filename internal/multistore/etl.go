@@ -1,10 +1,12 @@
 package multistore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"miso/internal/expr"
+	"miso/internal/faults"
 	"miso/internal/logical"
 	"miso/internal/storage"
 	"miso/internal/transfer"
@@ -57,6 +59,10 @@ func (s *System) runETL() error {
 	}
 	sort.Strings(logNames)
 
+	// The whole ETL pass shares one retry budget of a query's size: it is
+	// a single phase, and a fault storm should fail it after a bounded
+	// number of extra attempts rather than one full allowance per log.
+	rbud := faults.NewBudget(s.cfg.RetryBudget)
 	for _, logName := range logNames {
 		need := needs[logName]
 		node, err := buildETLExtract(logName, need.plain, need.udf)
@@ -78,7 +84,7 @@ func (s *System) runETL() error {
 		// The bulk load into DW permanent space runs through the fault-
 		// injected pipeline; ETL is one-time and has nothing to degrade
 		// to, so an exhausted load fails the ETL with a typed error.
-		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindPermanent, s.inj, s.retry)
+		mv, mvErr := transfer.MoveContext(context.Background(), s.cfg.Transfer, bytes, transfer.KindPermanent, s.inj, s.retry, rbud)
 		s.metrics.Retries += mv.Retries
 		s.metrics.Recovery += mv.RecoverySeconds
 		if mvErr != nil {

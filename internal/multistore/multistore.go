@@ -76,6 +76,27 @@ type Config struct {
 	// Retry is the recovery policy for injected failures; the zero value
 	// means faults.DefaultRetry.
 	Retry faults.RetryPolicy
+	// RetryBudget caps the total retries one query may pay across every
+	// recovery path it touches (HV stage retries, transfer resume/reload
+	// attempts, DW query replays); each reorganization or ETL phase gets
+	// its own budget of the same size. When the budget runs dry the
+	// operation stops retrying with an error wrapping faults.ErrExhausted
+	// and degrades through the usual fallback paths, so a fault storm
+	// costs a query at most RetryBudget extra attempts instead of a full
+	// per-phase allowance at every phase. Zero disables the budget: retry
+	// behavior is then byte-identical to a system without one.
+	RetryBudget int
+	// Hedge enables hedged DW execution: once the DW part of a split plan
+	// has been running longer than an adaptive threshold (tracked from a
+	// sliding window of observed DW wall durations), the equivalent
+	// HV-only fallback plan starts computing concurrently. If the DW side
+	// completes, the shadow is cooperatively canceled; if the DW side's
+	// injected failures exhaust their retries, the already-computed shadow
+	// is committed in place of the serial fallback re-execution. All
+	// simulated accounting is deferred to the commit point, so results and
+	// StateDigest are byte-identical with hedging on or off — only
+	// wall-clock latency and the hedge counters differ.
+	Hedge HedgeConfig
 
 	// CheckpointEvery enables the durability plane: every catalog/design
 	// mutation is journaled to a write-ahead log and a full-state
@@ -172,6 +193,20 @@ type Metrics struct {
 	// served: corrupt content (checksum mismatch) or a stale base-log
 	// generation. Quarantine work is charged to Recovery.
 	Quarantined int
+	// Hedges counts DW executions that armed an HV shadow (the hedge
+	// timer was set; whether the shadow's goroutine actually ran before
+	// the DW side finished is a scheduling race). The two counters below
+	// depend on wall-clock timing, so all three are deliberately excluded
+	// from StateDigest: hedged and unhedged runs stay digest-identical.
+	Hedges int
+	// HedgeWins counts hedged queries whose DW side exhausted its retries
+	// and were answered by committing the shadow's pre-computed fallback
+	// instead of re-executing it serially.
+	HedgeWins int
+	// HedgesCanceled counts shadows whose compute started but was
+	// cooperatively canceled — the DW side completed first, or the shadow
+	// itself failed.
+	HedgesCanceled int
 }
 
 // TTI returns the total time-to-insight.
@@ -205,6 +240,11 @@ type QueryReport struct {
 	// Degraded marks a query routed onto the forced HV-only path by the
 	// serving layer while the DW circuit breaker was open (RunDegraded).
 	Degraded bool
+	// HedgeWon marks a fallback served from the hedge shadow's
+	// pre-computed execution. Wall-clock observability only: the field is
+	// excluded from StateDigest and the durability journal, since whether
+	// the hedge timer beat the DW verdict depends on real time.
+	HedgeWon bool
 
 	// HVOps / DWOps count plan operators executed in each store.
 	HVOps, DWOps int
@@ -248,6 +288,11 @@ type System struct {
 	execInj *faults.Injector
 	memPool *govern.Pool
 	retry   faults.RetryPolicy
+	// qbud is the current query's retry budget (nil when RetryBudget is 0
+	// or between queries); queries are serialized under mu, so a single
+	// field is always the running query's.
+	qbud  *faults.Budget
+	hedge *hedgeTracker
 
 	future  []history.Entry
 	seq     int
@@ -314,9 +359,15 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	est := stats.NewEstimator(cat)
 	h := hv.NewStore(cfg.HV, cat, est)
 	d := dw.NewStore(cfg.DW, est)
+	// Vh ∩ Vd = ∅: an HV fallback recomputing the definition of a view
+	// the tuner moved to DW must not re-capture it on the HV side.
+	h.SetCaptureVeto(d.Views.Has)
 	opt := optimizer.New(h, d, est, cfg.Transfer)
 	if cfg.Variant == VariantHVOnly || cfg.Variant == VariantHVOp {
 		opt.DisableSplits = true
+	}
+	if cfg.Hedge.Enabled {
+		cfg.Hedge = cfg.Hedge.withDefaults()
 	}
 	retry := cfg.Retry.OrDefault()
 	inj := faults.NewInjector(cfg.Faults, cfg.FaultSeed) // nil for an all-zero profile
@@ -340,6 +391,7 @@ func New(cfg Config, cat *storage.Catalog) *System {
 		execInj: execInj,
 		memPool: govern.NewPool(cfg.MemPoolBytes), // nil when unlimited
 		retry:   retry,
+		hedge:   newHedgeTracker(cfg.Hedge),
 	}
 	if cfg.CheckpointEvery > 0 {
 		s.dur = durability.NewManager(cfg.CheckpointEvery, durability.NewWAL(inj))
@@ -495,6 +547,7 @@ func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, erro
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
 	defer s.attachLedger()()
+	defer s.attachBudget()()
 	s.beginOp()
 	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
@@ -537,6 +590,7 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
 	defer s.attachLedger()()
+	defer s.attachBudget()()
 	s.beginOp()
 	s.quarantineStale()
 	plan, err := s.builder.BuildSQL(sql)
@@ -613,6 +667,23 @@ func (s *System) attachLedger() func() {
 		s.hv.SetGovernor(nil)
 		s.dw.SetGovernor(nil)
 		led.ReleaseAll()
+	}
+}
+
+// attachBudget creates the per-query retry budget (nil when RetryBudget
+// is 0 — the budgeted paths then behave byte-identically to un-budgeted
+// ones), attaches it to HV's stage-retry loops, and returns the cleanup
+// that detaches it. Transfer and DW retry paths read it through s.qbud.
+func (s *System) attachBudget() func() {
+	bud := faults.NewBudget(s.cfg.RetryBudget)
+	if bud == nil {
+		return func() {}
+	}
+	s.qbud = bud
+	s.hv.SetRetryBudget(bud)
+	return func() {
+		s.hv.SetRetryBudget(nil)
+		s.qbud = nil
 	}
 }
 

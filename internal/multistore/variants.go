@@ -8,6 +8,7 @@ import (
 	"miso/internal/durability"
 	"miso/internal/faults"
 	"miso/internal/history"
+	"miso/internal/hv"
 	"miso/internal/logical"
 	"miso/internal/optimizer"
 	"miso/internal/storage"
@@ -97,7 +98,7 @@ func (s *System) runDWOnly(ctx context.Context, e history.Entry) (*QueryReport, 
 	}
 	// DW-ONLY has no other store to degrade to: injected query failures
 	// retry in place and exhaustion fails the query.
-	if err := s.simulateDWQuery(res.Seconds, rep); err != nil {
+	if err := s.simulateDWQuery(ctx, res.Seconds, rep); err != nil {
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
 	rep.UsedViews = s.markUsedViews(plan, e.Seq)
@@ -175,7 +176,7 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 		if failed, _ := s.inj.Check(faults.SiteCrashTransfer); failed {
 			return nil, fmt.Errorf("multistore: query %d transfer: %w", e.Seq, faults.Crash(faults.SiteCrashTransfer))
 		}
-		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
+		mv, mvErr := transfer.MoveContext(ctx, s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry, s.qbud)
 		rep.Retries += mv.Retries
 		if mvErr != nil {
 			// The move aborted: everything it paid is wasted. Degrade
@@ -217,16 +218,30 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 	if ctx.Err() != nil {
 		return nil, s.abandon(ctx.Err(), rep, e.Seq)
 	}
-	dwRes, err := s.dw.ExecuteContext(ctx, mp.DWPart)
+	dwRes, hr, err := s.executeDWHedged(ctx, e, mp.DWPart)
 	if err != nil {
+		hr.discard()
 		if isAbortErr(err) {
 			return nil, s.abandon(err, rep, e.Seq)
 		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
-	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
-		// DW gave out mid-query: degrade to HV.
+	if err := s.simulateDWQuery(ctx, dwRes.Seconds, rep); err != nil {
+		// DW gave out mid-query: degrade to HV. If the hedge shadow
+		// already computed the fallback plan, commit it in place of the
+		// serial re-execution (byte-identical state, wall-clock saved); a
+		// shadow that failed or never started falls through to the serial
+		// path, which replays exactly the draws an unhedged run would.
+		if p, perr, ok := hr.await(); ok {
+			if perr == nil {
+				return s.fallbackFromPending(ctx, e, rep, err, p)
+			}
+			s.metrics.HedgesCanceled++
+		}
 		return s.fallbackHV(ctx, e, rep, err)
+	}
+	if hr.discard() {
+		s.metrics.HedgesCanceled++
 	}
 	rep.DWSeconds = dwRes.Seconds
 	rep.DWOps = countOps(mp.DWPart)
@@ -244,9 +259,10 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 
 // simulateDWQuery replays injected DW-side failures for a query that took
 // sec seconds: each failure wastes the completed fraction plus a backoff,
-// and exhaustion returns the typed fault error (the caller decides whether
+// and giving up — per-phase retry exhaustion, a dead deadline, or a dry
+// retry budget — returns the typed fault error (the caller decides whether
 // to degrade to HV). Returns nil when the query eventually sticks.
-func (s *System) simulateDWQuery(sec float64, rep *QueryReport) error {
+func (s *System) simulateDWQuery(ctx context.Context, sec float64, rep *QueryReport) error {
 	if !s.inj.Enabled() {
 		return nil
 	}
@@ -257,8 +273,14 @@ func (s *System) simulateDWQuery(sec float64, rep *QueryReport) error {
 		}
 		rep.Retries++
 		rep.RecoverySeconds += frac*sec + s.retry.Backoff(attempt)
-		if attempt >= s.retry.MaxAttempts {
-			return faults.Exhausted(&faults.Fault{Site: faults.SiteDWQuery, Op: "dw query", Attempt: attempt})
+		f := &faults.Fault{Site: faults.SiteDWQuery, Op: "dw query", Attempt: attempt}
+		switch {
+		case attempt >= s.retry.MaxAttempts:
+			return faults.Exhausted(f)
+		case ctx.Err() != nil:
+			return fmt.Errorf("abandoned before retry: %w", ctx.Err())
+		case !s.qbud.Take():
+			return faults.BudgetExhausted(f)
 		}
 	}
 }
@@ -278,6 +300,12 @@ func (s *System) fallbackHV(ctx context.Context, e history.Entry, rep *QueryRepo
 		}
 		return nil, fmt.Errorf("multistore: query %d failed (%v) and its HV fallback failed too: %w", e.Seq, cause, err)
 	}
+	return s.bookFallback(e, rep, cause, plan, res), nil
+}
+
+// bookFallback charges a completed HV fallback execution — serial or a
+// committed hedge shadow — into the report and the TTI breakdown.
+func (s *System) bookFallback(e history.Entry, rep *QueryReport, cause error, plan *logical.Node, res *hv.Result) *QueryReport {
 	rep.FellBackToHV = true
 	rep.FallbackCause = cause
 	rep.RecoverySeconds += res.Seconds + res.RecoverySeconds
@@ -292,7 +320,7 @@ func (s *System) fallbackHV(ctx context.Context, e history.Entry, rep *QueryRepo
 	s.metrics.DWExe += rep.DWSeconds
 	s.addRecovery(rep.RecoverySeconds, rep.Retries)
 	s.metrics.Fallbacks++
-	return rep, nil
+	return rep
 }
 
 // addRecovery accumulates recovery time and retry counts into the TTI
@@ -368,7 +396,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		if failed, _ := s.inj.Check(faults.SiteCrashTransfer); failed {
 			return nil, fmt.Errorf("multistore: query %d transfer: %w", e.Seq, faults.Crash(faults.SiteCrashTransfer))
 		}
-		mv, mvErr := transfer.Move(s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry)
+		mv, mvErr := transfer.MoveContext(ctx, s.cfg.Transfer, bytes, transfer.KindWorkingSet, s.inj, s.retry, s.qbud)
 		rep.Retries += mv.Retries
 		if mvErr != nil {
 			rep.RecoverySeconds += mv.WastedSeconds()
@@ -441,7 +469,7 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 		}
 		return nil, fmt.Errorf("multistore: query %d in DW: %w", e.Seq, err)
 	}
-	if err := s.simulateDWQuery(dwRes.Seconds, rep); err != nil {
+	if err := s.simulateDWQuery(ctx, dwRes.Seconds, rep); err != nil {
 		rep, err := s.fallbackHV(ctx, e, rep, err)
 		if err != nil {
 			return nil, err
@@ -484,6 +512,10 @@ func (s *System) reorg(w *history.Window) error {
 	}
 	rec := ReorgRecord{BeforeSeq: s.seq, Dropped: len(r.DropHV)}
 	bud := transfer.NewBudget(s.cfg.Tuner.Bt)
+	// Each reorganization gets its own retry budget, sized like a query's:
+	// the phase degrades (moves roll back) instead of amplifying a fault
+	// storm, but one storm-hit reorg cannot starve later ones.
+	rbud := faults.NewBudget(s.cfg.RetryBudget)
 
 	// rollBack undoes one failed move: v stays in its source set (or is
 	// dropped when the source has no room left) and its budget returns.
@@ -508,7 +540,7 @@ func (s *System) reorg(w *history.Window) error {
 			rollBack(v, src, srcLimit, 0)
 			return
 		}
-		mv, mvErr := transfer.Move(s.cfg.Transfer, size, kind, s.inj, s.retry)
+		mv, mvErr := transfer.MoveContext(context.Background(), s.cfg.Transfer, size, kind, s.inj, s.retry, rbud)
 		committed := mvErr == nil
 		wasted := mv.WastedSeconds()
 		if committed {
@@ -634,11 +666,12 @@ func (s *System) offlineTune() error {
 // are kept, everything else is dropped.
 func (s *System) trimHVToDesign() {
 	rec := ReorgRecord{BeforeSeq: s.seq + 1}
+	rbud := faults.NewBudget(s.cfg.RetryBudget)
 	for _, v := range s.hv.Views.All() {
 		switch {
 		case s.offTargetDW[v.Name]:
 			if !s.dw.Views.Has(v.Name) {
-				mv, mvErr := transfer.Move(s.cfg.Transfer, v.SizeBytes(), transfer.KindPermanent, s.inj, s.retry)
+				mv, mvErr := transfer.MoveContext(context.Background(), s.cfg.Transfer, v.SizeBytes(), transfer.KindPermanent, s.inj, s.retry, rbud)
 				s.metrics.Retries += mv.Retries
 				if mvErr != nil {
 					// Rolled back: the view stays in HV and the design

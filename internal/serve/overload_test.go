@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenContention hammers a cooled-down breaker from many
+// goroutines: exactly one caller may claim the half-open probe slot, and
+// the open→half-open transition must happen exactly once — run with -race
+// this is the double-probe regression.
+func TestBreakerHalfOpenContention(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond}, clk.Now)
+	b.recordFailure(false) // threshold 1: trips immediately
+	if st, trips, _ := b.snapshot(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("expected open after one failure, got %v with %d trips", st, trips)
+	}
+	clk.Advance(2 * time.Millisecond) // past cooldown: next allow half-opens
+
+	const contenders = 64
+	var probes, normals atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			normal, probe := b.allow()
+			if probe {
+				probes.Add(1)
+			}
+			if normal {
+				normals.Add(1)
+			}
+			if normal != probe {
+				t.Errorf("half-open allow() returned normal=%v probe=%v; they must agree", normal, probe)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := probes.Load(); got != 1 {
+		t.Fatalf("%d contenders claimed the probe slot, want exactly 1", got)
+	}
+	if got := normals.Load(); got != 1 {
+		t.Fatalf("%d contenders took the normal path, want exactly 1 (the probe)", got)
+	}
+	if st, _, p := b.snapshot(); st != BreakerHalfOpen || p != 1 {
+		t.Fatalf("expected half-open with 1 probe admitted, got %v with %d", st, p)
+	}
+
+	// The probe's verdict resolves the contention exactly once: success
+	// closes, and a fresh storm of callers all pass without probing.
+	b.recordSuccess(true)
+	if st, trips, _ := b.snapshot(); st != BreakerClosed || trips != 1 {
+		t.Fatalf("expected closed after probe success, got %v with %d trips", st, trips)
+	}
+	for i := 0; i < 8; i++ {
+		if normal, probe := b.allow(); !normal || probe {
+			t.Fatalf("closed breaker returned normal=%v probe=%v", normal, probe)
+		}
+	}
+
+	// A failed probe re-opens exactly once even after the contention round.
+	b.recordFailure(false)
+	clk.Advance(2 * time.Millisecond)
+	if _, probe := b.allow(); !probe {
+		t.Fatalf("expected to claim the probe after second cooldown")
+	}
+	b.recordFailure(true)
+	if st, trips, _ := b.snapshot(); st != BreakerOpen || trips != 3 {
+		t.Fatalf("expected re-opened breaker after failed probe (trips: initial, re-trip, probe), got %v with %d trips", st, trips)
+	}
+}
+
+// TestBreakerProbeRelease: a probe that never reaches a DW verdict
+// returns its slot, so the next caller can probe instead of the breaker
+// wedging half-open forever.
+func TestBreakerProbeRelease(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond}, clk.Now)
+	b.recordFailure(false)
+	clk.Advance(2 * time.Millisecond)
+	if _, probe := b.allow(); !probe {
+		t.Fatal("expected first caller to claim the probe")
+	}
+	if normal, probe := b.allow(); normal || probe {
+		t.Fatal("second caller must stay degraded while the probe is in flight")
+	}
+	b.releaseProbe(true)
+	if _, probe := b.allow(); !probe {
+		t.Fatal("released probe slot must be claimable again")
+	}
+}
+
+// TestQuotaWeightedFairness drives the token buckets with a fake clock:
+// tokens refill proportional to weight, a hot tenant drains only its own
+// bucket, and a cold tenant's admission is untouched by the hot tenant's
+// storm.
+func TestQuotaWeightedFairness(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	q := newQuotas(QuotaConfig{
+		RatePerSec: 8,
+		Burst:      2,
+		Tenants: map[string]TenantConfig{
+			"heavy": {Weight: 3},
+			"light": {Weight: 1},
+		},
+	}, clk.Now)
+
+	// First sight creates full buckets: each tenant gets its burst, then
+	// sheds with the clock frozen (no refill).
+	for _, tenant := range []string{"heavy", "light"} {
+		for i := 0; i < 2; i++ {
+			if !q.admit(tenant) {
+				t.Fatalf("%s admission %d rejected within burst", tenant, i)
+			}
+		}
+		if q.admit(tenant) {
+			t.Fatalf("%s admitted past its burst with a frozen clock", tenant)
+		}
+	}
+
+	// Refill is weight-proportional: over 0.5s at 8/s with weights 3:1,
+	// heavy accrues 3 tokens (capped at burst 2) and light exactly 1.
+	clk.Advance(500 * time.Millisecond)
+	heavy, light := 0, 0
+	for q.admit("heavy") {
+		heavy++
+	}
+	for q.admit("light") {
+		light++
+	}
+	if heavy != 2 || light != 1 {
+		t.Fatalf("after 0.5s refill: heavy admitted %d (want 2, burst-capped), light %d (want 1)", heavy, light)
+	}
+
+	// Isolation: a hot tenant hammering its empty bucket doesn't consume
+	// anything the cold tenant is owed.
+	for i := 0; i < 1000; i++ {
+		q.admit("heavy")
+	}
+	clk.Advance(500 * time.Millisecond)
+	if !q.admit("light") {
+		t.Fatal("cold tenant starved by the hot tenant's shed storm")
+	}
+}
+
+// TestAdaptiveLimiterAIMD: a window of latencies over target halves the
+// limit (repeatedly, floored at Min); windows under target creep it back
+// up one slot at a time to the worker ceiling.
+func TestAdaptiveLimiterAIMD(t *testing.T) {
+	l := newLimiter(AdaptiveConfig{TargetP99: 100 * time.Millisecond, Window: 4, Min: 1}, 8)
+	feed := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			l.observe(d)
+		}
+	}
+
+	if lim, _, _ := l.snapshot(); lim != 8 {
+		t.Fatalf("initial limit %d, want the worker ceiling 8", lim)
+	}
+	feed(200*time.Millisecond, 4) // one slow window: 8 -> 4
+	feed(200*time.Millisecond, 4) // 4 -> 2
+	feed(200*time.Millisecond, 4) // 2 -> 1
+	feed(200*time.Millisecond, 4) // floored at Min
+	if lim, _, decs := l.snapshot(); lim != 1 || decs != 4 {
+		t.Fatalf("after 4 slow windows: limit %d (want 1), decreases %d (want 4)", lim, decs)
+	}
+	feed(time.Millisecond, 4*10) // fast windows: 1 -> 8, then saturates at max
+	if lim, incs, _ := l.snapshot(); lim != 8 || incs != 7 {
+		t.Fatalf("after recovery: limit %d (want 8), increases %d (want 7)", lim, incs)
+	}
+}
+
+// TestAdaptiveLimiterBlocksAtLimit: with the limit squeezed to one, a
+// second acquire blocks until the first slot is released.
+func TestAdaptiveLimiterBlocksAtLimit(t *testing.T) {
+	l := newLimiter(AdaptiveConfig{TargetP99: time.Millisecond, Window: 1, Min: 1}, 2)
+	l.observe(time.Second) // one slow window: limit 2 -> 1
+
+	l.acquire()
+	entered := make(chan struct{})
+	go func() {
+		l.acquire()
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("second acquire proceeded past a limit of 1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.release()
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second acquire never woke after release")
+	}
+	l.release()
+}
+
+// TestOverloadPlaneDisabledIsNoOp: the zero-value Quota/Adaptive configs
+// must leave the serving plane exactly as before — full worker
+// concurrency, no quota sheds, no limit adjustments — while per-tenant
+// accounting still works.
+func TestOverloadPlaneDisabledIsNoOp(t *testing.T) {
+	srv := NewServer(Config{Workers: 2, QueueDepth: 8}, &stubBackend{})
+	defer srv.Close()
+
+	if lim := srv.ConcurrencyLimit(); lim != 2 {
+		t.Fatalf("disabled limiter reports concurrency %d, want the worker count 2", lim)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := srv.DoAs(context.Background(), "t0", "q"); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	m := srv.Metrics()
+	if m.QuotaSheds != 0 || m.LimitIncreases != 0 || m.LimitDecreases != 0 {
+		t.Fatalf("disabled overload plane touched its counters: %+v", m)
+	}
+	ts := srv.TenantStats()
+	if len(ts) != 1 || ts[0].Tenant != "t0" || ts[0].Served != 6 || ts[0].Shed != 0 {
+		t.Fatalf("tenant accounting off: %+v", ts)
+	}
+}
+
+// TestQuotaShedsAreTenantScoped: with quotas on, a tenant whose bucket is
+// empty sheds with ErrQuotaShed (which also matches ErrShed), the serve
+// metrics count it under both Sheds and QuotaSheds, and other tenants
+// keep being served.
+func TestQuotaShedsAreTenantScoped(t *testing.T) {
+	srv := NewServer(Config{
+		Workers: 2, QueueDepth: 8,
+		Quota: QuotaConfig{RatePerSec: 0.001, Burst: 1},
+	}, &stubBackend{})
+	defer srv.Close()
+
+	if _, err := srv.DoAs(context.Background(), "hot", "q"); err != nil {
+		t.Fatalf("first query within burst: %v", err)
+	}
+	_, err := srv.DoAs(context.Background(), "hot", "q")
+	if !errors.Is(err, ErrQuotaShed) {
+		t.Fatalf("second query should shed on quota, got %v", err)
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("a quota shed must also match ErrShed, got %v", err)
+	}
+	if _, err := srv.DoAs(context.Background(), "cold", "q"); err != nil {
+		t.Fatalf("cold tenant must be unaffected: %v", err)
+	}
+	m := srv.Metrics()
+	if m.QuotaSheds != 1 || m.Sheds != 1 {
+		t.Fatalf("expected 1 quota shed counted as a shed, got %+v", m)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range srv.TenantStats() {
+		switch ts.Tenant {
+		case "hot":
+			if ts.Served != 1 || ts.Shed != 1 {
+				t.Fatalf("hot tenant ledger off: %+v", ts)
+			}
+		case "cold":
+			if ts.Served != 1 || ts.Shed != 0 {
+				t.Fatalf("cold tenant ledger off: %+v", ts)
+			}
+		}
+	}
+}

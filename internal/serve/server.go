@@ -68,6 +68,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Breaker tunes the DW circuit breaker.
 	Breaker BreakerConfig
+	// Quota gates admission per tenant with weighted-fair token buckets
+	// (the zero value admits everything, as before).
+	Quota QuotaConfig
+	// Adaptive squeezes the effective worker count when served p99
+	// exceeds a target (the zero value leaves all Workers available).
+	Adaptive AdaptiveConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -92,8 +98,12 @@ type Metrics struct {
 	// Completed counts queries that returned a report (including
 	// degraded ones).
 	Completed int
-	// Sheds counts queries rejected at admission (ErrShed).
+	// Sheds counts queries rejected at admission (ErrShed), whether by a
+	// full queue or an empty tenant bucket.
 	Sheds int
+	// QuotaSheds counts the subset of Sheds rejected by a tenant quota
+	// (ErrQuotaShed) rather than the shared queue.
+	QuotaSheds int
 	// Timeouts counts queries abandoned because their deadline fired.
 	Timeouts int
 	// Canceled counts queries abandoned by caller- or drain-initiated
@@ -122,6 +132,11 @@ type Metrics struct {
 	// ReorgCancels counts in-flight queries canceled by a drain barrier
 	// that hit its timeout.
 	ReorgCancels int
+	// LimitIncreases and LimitDecreases count the adaptive limiter's
+	// AIMD adjustments (additive recoveries and multiplicative
+	// brownouts).
+	LimitIncreases int
+	LimitDecreases int
 }
 
 // Check verifies the accounting invariant.
@@ -139,9 +154,10 @@ type jobResult struct {
 }
 
 type job struct {
-	ctx  context.Context
-	sql  string
-	done chan jobResult
+	ctx    context.Context
+	sql    string
+	tenant string
+	done   chan jobResult
 	// canceledAt is the wall-clock nanosecond the job's context was
 	// canceled (stamped by a context.AfterFunc), or 0 while live. The
 	// worker reads it after the backend returns to measure cancel-to-idle
@@ -160,6 +176,7 @@ type Server struct {
 	cfg     Config
 	backend Backend
 	br      *breaker
+	lim     *limiter
 	jobs    chan *job
 	wg      sync.WaitGroup
 
@@ -167,12 +184,14 @@ type Server struct {
 	// read, Reorganize holds it for write.
 	gate sync.RWMutex
 
-	mu        sync.Mutex // guards closed, metrics, inflight, nextID, cancelLat
+	mu        sync.Mutex // guards closed, metrics, inflight, nextID, cancelLat, quo, tstats
 	closed    bool
 	metrics   Metrics
 	inflight  map[int]context.CancelFunc
 	nextID    int
 	cancelLat []time.Duration
+	quo       *quotas
+	tstats    map[string]*TenantStats
 }
 
 // NewServer starts the worker pool over the backend.
@@ -182,8 +201,11 @@ func NewServer(cfg Config, backend Backend) *Server {
 		cfg:      cfg,
 		backend:  backend,
 		br:       newBreaker(cfg.Breaker, nil),
+		lim:      newLimiter(cfg.Adaptive, cfg.Workers),
 		jobs:     make(chan *job, cfg.QueueDepth),
 		inflight: map[int]context.CancelFunc{},
+		quo:      newQuotas(cfg.Quota, nil),
+		tstats:   map[string]*TenantStats{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -196,7 +218,16 @@ func NewServer(cfg Config, backend Backend) *Server {
 // is ErrShed when the queue was full, ErrClosed after Close, a
 // context error (possibly wrapped by the backend) when the deadline
 // fired or ctx was canceled, or the backend's execution error.
+// Queries submitted via Do belong to the empty ("") tenant.
 func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, error) {
+	return s.DoAs(ctx, "", sql)
+}
+
+// DoAs is Do with a tenant ID: the query is admitted against the
+// tenant's quota bucket (when quotas are configured) and counted in its
+// TenantStats either way. An empty bucket sheds with ErrQuotaShed, which
+// wraps ErrShed.
+func (s *Server) DoAs(ctx context.Context, tenant, sql string) (*multistore.QueryReport, error) {
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
@@ -205,7 +236,7 @@ func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, e
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	j := &job{ctx: ctx, sql: sql, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, sql: sql, tenant: tenant, done: make(chan jobResult, 1)}
 
 	s.mu.Lock()
 	if s.closed {
@@ -213,12 +244,25 @@ func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, e
 		return nil, ErrClosed
 	}
 	s.metrics.Submitted++
+	t := s.tenant(tenant)
+	t.Submitted++
+	// Per-tenant admission runs before the shared queue: a hot tenant
+	// exhausts its own bucket and sheds there, leaving queue space for
+	// the tenants still inside their budgets.
+	if s.quo != nil && !s.quo.admit(tenant) {
+		s.metrics.Sheds++
+		s.metrics.QuotaSheds++
+		t.Shed++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("tenant %q: %w (%w)", tenant, ErrQuotaShed, ErrShed)
+	}
 	// Admission: non-blocking send under s.mu, which also excludes Close,
 	// so the channel cannot be closed under the send.
 	select {
 	case s.jobs <- j:
 	default:
 		s.metrics.Sheds++
+		t.Shed++
 		s.mu.Unlock()
 		return nil, ErrShed
 	}
@@ -234,19 +278,25 @@ func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, e
 	switch {
 	case res.err == nil:
 		s.metrics.Completed++
+		t.Served++
 		if res.rep != nil && res.rep.Degraded {
 			s.metrics.Degraded++
 		}
 	case errors.Is(res.err, context.DeadlineExceeded):
 		s.metrics.Timeouts++
+		t.Failed++
 	case errors.Is(res.err, context.Canceled):
 		s.metrics.Canceled++
+		t.Failed++
 	case errors.Is(res.err, govern.ErrMemLimit):
 		s.metrics.Aborted++
+		t.Failed++
 	case errors.Is(res.err, govern.ErrInternal):
 		s.metrics.PanicsContained++
+		t.Failed++
 	default:
 		s.metrics.Failed++
+		t.Failed++
 	}
 	s.mu.Unlock()
 	return res.rep, res.err
@@ -255,6 +305,11 @@ func (s *Server) Do(ctx context.Context, sql string) (*multistore.QueryReport, e
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
+		// The adaptive limit is taken before the drain barrier: a worker
+		// parked by a brownout holds no read lock, so Reorganize can
+		// always drain regardless of how far the limit has been squeezed.
+		s.lim.acquire()
+		start := time.Now()
 		s.gate.RLock()
 		// Stamp the moment the job's context dies so cancel-to-idle
 		// latency can be measured when the backend hands the worker back.
@@ -279,6 +334,10 @@ func (s *Server) worker() {
 			s.mu.Unlock()
 		}
 		s.gate.RUnlock()
+		s.lim.release()
+		if res.err == nil {
+			s.lim.observe(time.Since(start))
+		}
 		j.done <- res
 	}
 }
@@ -373,7 +432,18 @@ func (s *Server) Metrics() Metrics {
 	m := s.metrics
 	s.mu.Unlock()
 	_, m.BreakerTrips, m.BreakerProbes = s.br.snapshot()
+	_, m.LimitIncreases, m.LimitDecreases = s.lim.snapshot()
 	return m
+}
+
+// ConcurrencyLimit returns the adaptive limiter's current effective
+// worker limit, or Config.Workers when adaptive limiting is disabled.
+func (s *Server) ConcurrencyLimit() int {
+	if s.lim == nil {
+		return s.cfg.Workers
+	}
+	lim, _, _ := s.lim.snapshot()
+	return lim
 }
 
 // CancelLatencies returns the cancel-to-idle latency of every canceled or

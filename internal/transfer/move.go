@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 
 	"miso/internal/faults"
@@ -59,12 +60,39 @@ func (r *MoveResult) WastedSeconds() float64 {
 // With a nil injector the result is exactly the fault-free costing
 // (Cost or CostToHV), bit for bit.
 func Move(cfg Config, bytes int64, kind Kind, inj *faults.Injector, retry faults.RetryPolicy) (*MoveResult, error) {
+	return MoveContext(context.Background(), cfg, bytes, kind, inj, retry, nil)
+}
+
+// MoveContext is Move under a caller deadline and a shared retry budget.
+// Before paying another attempt each phase checks the context — a dead
+// context aborts the move immediately (no retry can fit inside an expired
+// deadline) — and consumes one retry from the budget, aborting with an
+// error wrapping faults.ErrBudget (and therefore faults.ErrExhausted) when
+// the budget runs dry. A background context and nil budget make it
+// byte-identical to Move.
+func MoveContext(ctx context.Context, cfg Config, bytes int64, kind Kind, inj *faults.Injector, retry faults.RetryPolicy, bud *faults.Budget) (*MoveResult, error) {
 	retry = retry.OrDefault()
 	ideal := Cost(cfg, bytes)
 	if kind == KindToHV {
 		ideal = CostToHV(cfg, bytes)
 	}
 	res := &MoveResult{}
+
+	// giveUp decides, after an injected failure was drawn and charged,
+	// whether the phase may pay another attempt: the per-phase policy, the
+	// caller's deadline, and the shared budget all have to agree.
+	giveUp := func(site faults.Site, attempt int, op string) error {
+		f := &faults.Fault{Site: site, Op: op, Attempt: attempt}
+		switch {
+		case attempt >= retry.MaxAttempts:
+			return faults.Exhausted(f)
+		case ctx.Err() != nil:
+			return fmt.Errorf("abandoned before retry: %w", ctx.Err())
+		case !bud.Take():
+			return faults.BudgetExhausted(f)
+		}
+		return nil
+	}
 
 	resumable := func(site faults.Site, sec float64, op string) (float64, error) {
 		done := 0.0
@@ -76,8 +104,8 @@ func Move(cfg Config, bytes int64, kind Kind, inj *faults.Injector, retry faults
 			res.Retries++
 			done += (1 - done) * frac
 			res.RecoverySeconds += retry.Backoff(attempt)
-			if attempt >= retry.MaxAttempts {
-				return done * sec, fmt.Errorf("transfer: %s: %w", op, faults.Exhausted(&faults.Fault{Site: site, Op: op, Attempt: attempt}))
+			if err := giveUp(site, attempt, op); err != nil {
+				return done * sec, fmt.Errorf("transfer: %s: %w", op, err)
 			}
 		}
 	}
@@ -89,8 +117,8 @@ func Move(cfg Config, bytes int64, kind Kind, inj *faults.Injector, retry faults
 			}
 			res.Retries++
 			res.RecoverySeconds += frac*sec + retry.Backoff(attempt)
-			if attempt >= retry.MaxAttempts {
-				return 0, fmt.Errorf("transfer: %s: %w", op, faults.Exhausted(&faults.Fault{Site: site, Op: op, Attempt: attempt}))
+			if err := giveUp(site, attempt, op); err != nil {
+				return 0, fmt.Errorf("transfer: %s: %w", op, err)
 			}
 		}
 	}

@@ -124,6 +124,26 @@ type ServeConfig = serve.Config
 // BreakerConfig tunes the DW circuit breaker inside ServeConfig.
 type BreakerConfig = serve.BreakerConfig
 
+// QuotaConfig tunes per-tenant weighted-fair admission quotas inside
+// ServeConfig; the zero value disables them.
+type QuotaConfig = serve.QuotaConfig
+
+// TenantConfig sets one tenant's quota weight and burst inside
+// QuotaConfig.
+type TenantConfig = serve.TenantConfig
+
+// TenantStats is one tenant's admission outcome counters
+// (Server.TenantStats).
+type TenantStats = serve.TenantStats
+
+// AdaptiveConfig tunes the AIMD concurrency limiter inside ServeConfig;
+// the zero value disables it.
+type AdaptiveConfig = serve.AdaptiveConfig
+
+// HedgeConfig tunes hedged DW execution inside Config (Config.Hedge);
+// the zero value disables it.
+type HedgeConfig = multistore.HedgeConfig
+
 // Server is the concurrent query-serving frontend: a bounded worker pool
 // with admission control, per-query deadlines, a DW circuit breaker that
 // degrades to HV-only service, and drain-barrier online reorganization.
@@ -140,6 +160,10 @@ type ServeMetrics = serve.Metrics
 // ErrShed marks a query rejected at admission because the serving queue
 // was full; match it with errors.Is.
 var ErrShed = serve.ErrShed
+
+// ErrQuotaShed marks a query shed by its tenant's admission quota; it
+// wraps as a shed (errors.Is(err, ErrShed) also holds).
+var ErrQuotaShed = serve.ErrQuotaShed
 
 // NewServer starts a serving frontend over a running system.
 func NewServer(cfg ServeConfig, sys *System) *Server { return serve.NewServer(cfg, sys) }
