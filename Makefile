@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos soak serve crash govern scenarios lint
+.PHONY: tier1 build vet test race bench chaos soak serve crash govern scenarios endurance lint
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite under the race detector, and explicit runs of the
@@ -9,7 +9,10 @@ GO ?= go
 # the morsel-engine determinism regressions, the governance regressions
 # (cancellation storm, panic isolation), and the overload-plane
 # regressions (hedge digest identity, breaker half-open contention,
-# quota fairness, pool storm, retry budgets) — all race-enabled.
+# quota fairness, pool storm, retry budgets), and the integrity-plane
+# regressions (self-healing repair, quarantine tombstones, audit
+# byte-identity, scrub-during-reorganize, scrub-during-recovery) — all
+# race-enabled.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -18,6 +21,8 @@ tier1:
 	$(GO) test -race -run 'TestBreakerHalfOpenContention|TestQuotaWeightedFairness|TestQuotaShedsAreTenantScoped|TestAdaptiveLimiter|TestOverloadPlaneDisabledIsNoOp' -count 1 ./internal/serve/
 	$(GO) test -race -run 'TestRecoverPerCrashSite|TestCleanShutdownByteIdentity|TestServeResumesOnRecoveredSystem|TestStateDigestIdenticalAcrossTuneWorkers|TestStateDigestIdenticalAcrossExecWorkers' -count 1 ./internal/multistore/
 	$(GO) test -race -run 'TestHedgeDigestIdentity|TestHedgeDisabledIsStrictNoOp|TestRetryBudgetCapsRecovery' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestAuditRepairsCorruptView|TestQuarantineTombstoneBlocksCapture|TestEvictThenQuarantineNoLRURetention|TestAuditCleanRunByteIdentity' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestScrubDuringReorganize|TestScrubDuringRecovery|TestBackgroundScrubberUnderLoad' -count 1 ./internal/audit/
 	$(GO) test -race -run 'TestPoolStorm' -count 1 ./internal/govern/
 	$(GO) test -race -run 'TestTuneDeterministicAcrossWorkerCounts' -count 1 ./internal/core/
 	$(GO) test -race -run 'TestMorselEngineByteIdenticalToSerial|TestMorselEngineFullWorkloadDigest|TestSortFullRowTieBreak' -count 1 ./internal/exec/
@@ -60,6 +65,13 @@ crash:
 
 govern:
 	$(GO) run ./cmd/misobench -benchgov -scale small
+
+# endurance runs the long-horizon adversarial endurance harness:
+# closed-loop tenants with think time, bit-rot injection (SiteViewRot),
+# and the self-healing background scrubber, with acceptance checks
+# written to BENCH_endurance.json.
+endurance:
+	$(GO) run ./cmd/misobench -mode endurance -scale small
 
 # scenarios runs the multi-tenant overload scenario matrix (flash crowd,
 # Zipf skew, diurnal shift, drift burst, ETL storm, DW brownout) and

@@ -19,6 +19,7 @@
 //	misobench -benchexec -benchexecout BENCH_exec.json      # exec engine benchmarks
 //	misobench -benchgov -benchgovout BENCH_governance.json  # governance pipeline
 //	misobench -scenarios                 # overload scenario matrix -> BENCH_scenarios.json
+//	misobench -endurance                 # adversarial endurance harness -> BENCH_endurance.json
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whatever experiments the invocation runs (see README.md).
@@ -74,6 +75,12 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the overload scenario matrix (flash crowd, tenant skew, diurnal, drift, ETL storm, DW brownout; not part of -all)")
 	scenariosOut := flag.String("scenariosout", "BENCH_scenarios.json", "scenario matrix: write the machine-readable JSON report to this file ('' disables)")
 	phaseDur := flag.Duration("phasedur", 0, "scenario matrix: duration of each load phase (0 = default)")
+	endurance := flag.Bool("endurance", false, "run the long-horizon adversarial endurance harness (integrity extension; not part of -all)")
+	enduranceOut := flag.String("enduranceout", "BENCH_endurance.json", "endurance harness: write the machine-readable JSON report to this file ('' disables)")
+	enduranceTenants := flag.Int("endurancetenants", 0, "endurance: closed-loop client/tenant population (0 = default 200)")
+	enduranceReorgs := flag.Int("endurancereorgs", 0, "endurance: reorganization-cycle horizon (0 = default 3)")
+	enduranceQueries := flag.Int("endurancequeries", 0, "endurance: served-query horizon (0 = default 150)")
+	enduranceDur := flag.Duration("endurancedur", 0, "endurance: wall-clock cap (0 = default 3m)")
 	tuneWorkers := flag.Int("tuneworkers", 0, "tuner what-if worker pool size for all experiments (<= 1 keeps costing serial)")
 	execWorkers := flag.Int("execworkers", 0, "execution engine for all experiments: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
@@ -269,6 +276,33 @@ func main() {
 			}
 			return nil
 		}},
+		{"endurance", "long-horizon adversarial endurance harness: closed-loop tenants, bit-rot injection, self-healing audit", "BENCH_endurance.json", func() error {
+			ec := experiments.DefaultEndurance(cfg)
+			if *enduranceTenants > 0 {
+				ec.Tenants = *enduranceTenants
+			}
+			if *enduranceReorgs > 0 {
+				ec.MinReorgs = *enduranceReorgs
+			}
+			if *enduranceQueries > 0 {
+				ec.MinQueries = *enduranceQueries
+			}
+			if *enduranceDur > 0 {
+				ec.MaxDuration = *enduranceDur
+			}
+			r, err := experiments.RunEndurance(ec)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			if err := writeJSON(*enduranceOut, r.WriteJSON); err != nil {
+				return err
+			}
+			if !r.Passed() {
+				return fmt.Errorf("endurance harness: one or more acceptance checks failed")
+			}
+			return nil
+		}},
 	}
 	byName := map[string]*mode{}
 	for i := range registry {
@@ -322,7 +356,7 @@ func main() {
 	for f, name := range map[*bool]string{
 		chaos: "chaos", crash: "crash", serveSoak: "serve",
 		bench: "bench", benchExec: "benchexec", benchGov: "benchgov",
-		scenarios: "scenarios",
+		scenarios: "scenarios", endurance: "endurance",
 	} {
 		if *f {
 			want(name)

@@ -37,6 +37,8 @@ func main() {
 	memLimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes (0 disables; exceeding aborts the query)")
 	ckptEvery := flag.Int("checkpointevery", 0, "journal design mutations and checkpoint full state every n operations (0 disables the durability plane)")
 	execWorkers := flag.Int("execworkers", 0, "execution engine: 0 = morsel engine at GOMAXPROCS, n = n morsel workers, -1 = legacy serial engine")
+	auditFlag := flag.Bool("audit", false, "run a one-shot foreground integrity audit (standalone, or after the query when -sql/-name is given); exits 3 on violation")
+	auditRepair := flag.Bool("auditrepair", false, "with -audit: self-heal corrupt views by recomputation instead of only reporting")
 	flag.Parse()
 
 	query := *sql
@@ -48,7 +50,7 @@ func main() {
 		}
 		query = q.SQL
 	}
-	if query == "" {
+	if query == "" && !*auditFlag {
 		fmt.Fprintln(os.Stderr, "pass -sql or -name (see -h)")
 		os.Exit(2)
 	}
@@ -82,6 +84,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if query == "" {
+		// -audit with no query: check the freshly opened system and exit.
+		runAudit(sys, *auditRepair)
+		return
 	}
 
 	if *explain {
@@ -199,5 +207,47 @@ func main() {
 		if rep.Result.NumRows() > n {
 			fmt.Printf("... (%d more rows)\n", rep.Result.NumRows()-n)
 		}
+	}
+
+	if *auditFlag {
+		fmt.Println()
+		runAudit(sys, *auditRepair)
+	}
+}
+
+// runAudit performs one foreground integrity pass — every resident view
+// plus the system invariants — and prints one pass/fail line per
+// invariant family. It exits 3 when any violation was detected (even a
+// repaired one: the stored state was bad) and 1 on a fatal audit error.
+func runAudit(sys *miso.System, repair bool) {
+	viols, err := miso.Audit(sys, repair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	byFam := make(map[string][]miso.AuditViolation)
+	for _, v := range viols {
+		byFam[v.Invariant] = append(byFam[v.Invariant], v)
+	}
+	fmt.Println("integrity audit:")
+	for _, fam := range miso.AuditFamilies() {
+		vs := byFam[fam]
+		if len(vs) == 0 {
+			fmt.Printf("  %-12s pass\n", fam)
+			continue
+		}
+		repaired := 0
+		for _, v := range vs {
+			if v.Repaired {
+				repaired++
+			}
+		}
+		fmt.Printf("  %-12s FAIL (%d violations, %d repaired)\n", fam, len(vs), repaired)
+		for _, v := range vs {
+			fmt.Printf("    %s\n", v.String())
+		}
+	}
+	if len(viols) > 0 {
+		os.Exit(3)
 	}
 }

@@ -1,0 +1,167 @@
+package audit_test
+
+// Race-enabled regressions for the scrubber's concurrency contract: a
+// scrub chunk observes the catalog either entirely before or entirely
+// after a reorganization or recovery — never a torn mix. Run these under
+// -race (the tier-1 Makefile target does).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"miso/internal/audit"
+	"miso/internal/data"
+	"miso/internal/faults"
+	"miso/internal/multistore"
+	"miso/internal/serve"
+	"miso/internal/workload"
+)
+
+// TestScrubDuringReorganize drives concurrent queries and explicit
+// drain-barrier reorganizations while the scrubber runs with the
+// serving plane's Quiesce hook. On a clean system a torn observation
+// would surface as a spurious violation (disjointness or placement
+// drift mid-swap), so the assertion is zero detections across the run.
+func TestScrubDuringReorganize(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.CheckpointEvery = 4
+	// The server owns reorganization scheduling behind its drain barrier.
+	cfg.ReorgEvery = 0
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+	srv := serve.NewServer(serve.Config{Workers: 4, QueryTimeout: 30 * time.Second,
+		DrainTimeout: 5 * time.Second}, sys)
+	defer srv.Close()
+
+	sc := audit.New(sys, audit.Config{Interval: 200 * time.Microsecond, ChunkViews: 2,
+		Repair: true, Quiesce: srv.Quiesce})
+	sc.Start()
+
+	sqls := workload.SQLs()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(sqls); i++ {
+				_, err := srv.Do(context.Background(), sqls[(g+i)%len(sqls)])
+				if err != nil && !errors.Is(err, serve.ErrShed) {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	reorgs := 0
+	for {
+		select {
+		case <-done:
+		case err := <-errCh:
+			t.Fatalf("query failed: %v", err)
+		case <-time.After(5 * time.Millisecond):
+			if err := srv.Reorganize(); err != nil {
+				t.Fatalf("reorganize: %v", err)
+			}
+			reorgs++
+			continue
+		}
+		break
+	}
+	sc.Stop()
+
+	if reorgs == 0 {
+		t.Fatal("no reorganization ran concurrently with the scrubber")
+	}
+	rep := sc.Report()
+	if rep.Fatal != nil {
+		t.Fatalf("scrubber died: %v", rep.Fatal)
+	}
+	if rep.Chunks == 0 {
+		t.Fatal("scrubber never ran a chunk during the load")
+	}
+	if rep.Detected != 0 {
+		t.Fatalf("scrubber reported %d spurious violations on a clean system (torn observation): %v",
+			rep.Detected, rep.Violations)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent scrubbing: %v", err)
+	}
+}
+
+// TestScrubDuringRecovery keeps a repair-mode scrubber running while
+// crash faults kill the system mid-operation; after each recovery a
+// fresh scrubber attaches to the recovered system. The recovered state
+// must always audit clean.
+func TestScrubDuringRecovery(t *testing.T) {
+	cat, err := data.Generate(data.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := multistore.DefaultConfig(multistore.VariantMSMiso)
+	cfg.SetBudgets(cat, 2.0, 10<<30)
+	cfg.CheckpointEvery = 4
+	cfg.Faults = faults.Profile{}.
+		With(faults.SiteCrashReorg, 0.4).
+		With(faults.SiteCrashTransfer, 0.2)
+	cfg.FaultSeed = 21
+	sys := multistore.New(cfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		t.Fatalf("future workload: %v", err)
+	}
+
+	newScrub := func(s *multistore.System) *audit.Scrubber {
+		sc := audit.New(s, audit.Config{Interval: 200 * time.Microsecond, ChunkViews: 2, Repair: true})
+		sc.Start()
+		return sc
+	}
+	sc := newScrub(sys)
+	crashes := 0
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			if !errors.Is(err, faults.ErrCrash) {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			// The process died with the scrubber racing it; recovery must
+			// produce a clean system regardless of what the scrubber was
+			// doing at the instant of the crash.
+			sc.Stop()
+			crashes++
+			recovered, _, rerr := multistore.Recover(cfg, sys.Catalog(),
+				sys.Durability().Latest(), sys.Durability().WAL())
+			if rerr != nil {
+				t.Fatalf("recover after query %d: %v", i, rerr)
+			}
+			sys = recovered
+			if viols, aerr := audit.RunOnce(sys, false); aerr != nil || len(viols) != 0 {
+				t.Fatalf("recovered system audits dirty after query %d: %v %v", i, viols, aerr)
+			}
+			sc = newScrub(sys)
+		}
+	}
+	sc.Stop()
+	if rep := sc.Report(); rep.Fatal != nil {
+		t.Fatalf("scrubber died: %v", rep.Fatal)
+	}
+	if crashes == 0 {
+		t.Fatal("no crash fired; the recovery path was never exercised")
+	}
+	if viols, err := audit.RunOnce(sys, false); err != nil || len(viols) != 0 {
+		t.Fatalf("final system audits dirty: %v %v", viols, err)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("invariants at exit: %v", err)
+	}
+}

@@ -110,12 +110,15 @@ func Load(cfg Config, store *dw.Store, est *stats.Estimator) (*Workload, error) 
 	}
 
 	for _, t := range []*storage.Table{dates, items, sales} {
+		// The content checksum is stamped at load so the integrity scrubber
+		// can verify these tables like any opportunistic view.
 		v := &views.View{
-			Name:  t.Name,
-			Sig:   "bgtable(" + t.Name + ")",
-			Def:   logical.NewViewScan(t.Name, t.Schema),
-			Desc:  nil,
-			Table: t,
+			Name:     t.Name,
+			Sig:      "bgtable(" + t.Name + ")",
+			Def:      logical.NewViewScan(t.Name, t.Schema),
+			Desc:     nil,
+			Table:    t,
+			Checksum: storage.ChecksumTable(t),
 		}
 		v.Desc = logical.Describe(v.Def)
 		store.Views.Add(v)

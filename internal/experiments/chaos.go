@@ -3,9 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"miso/internal/audit"
 	"miso/internal/faults"
 	"miso/internal/multistore"
+	"miso/internal/workload"
 )
 
 // ChaosPoint is one (failure rate, variant, mode) cell of the chaos
@@ -46,6 +49,14 @@ type ChaosPoint struct {
 	MemAborted      int
 	PanicsContained int
 	CancelP99Ms     float64
+	// ViolationsDetected / ViolationsRepaired / ViolationsUnrepaired are
+	// the audit-plane outcomes (mode "audit"): integrity violations found
+	// by the background scrubber while SiteViewRot corrupts resident
+	// views at the sweep rate, how many were self-healed online, and how
+	// many could only be quarantined. Zero elsewhere.
+	ViolationsDetected   int
+	ViolationsRepaired   int
+	ViolationsUnrepaired int
 }
 
 // ChaosResult is the fault-injection experiment (robustness extension, not
@@ -170,8 +181,68 @@ func Chaos(cfg Config) (*ChaosResult, error) {
 			return nil, fmt.Errorf("experiments: chaos govern rate %.2f: %w", rate, err)
 		}
 		res.Points = append(res.Points, gp)
+		// One audit-mode row per rate: the tuned system with SiteViewRot
+		// corrupting resident views at the sweep rate and the background
+		// scrubber detecting and self-healing them under the workload.
+		ap, err := auditChaosPoint(c, rate, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos audit rate %.2f: %w", rate, err)
+		}
+		res.Points = append(res.Points, ap)
 	}
 	return res, nil
+}
+
+// auditChaosPoint replays the workload with bit rot armed and the
+// integrity scrubber running in repair mode. The run must end clean: a
+// final verification pass with repair off may find nothing, or the
+// audit plane failed to converge and the sweep errors out.
+func auditChaosPoint(c Config, rate float64, seed int64) (ChaosPoint, error) {
+	p := faults.Profile{}.With(faults.SiteViewRot, rate)
+	mcfg, cat, err := c.crashConfig(multistore.VariantMSMiso, p, seed)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	sys := multistore.New(mcfg, cat)
+	if err := sys.ProvideFutureWorkload(workload.SQLs()); err != nil {
+		return ChaosPoint{}, err
+	}
+	scrub := audit.New(sys, audit.Config{
+		Interval: time.Millisecond, ChunkViews: 4, Repair: true,
+	})
+	scrub.Start()
+	for i, sql := range workload.SQLs() {
+		if _, err := sys.Run(sql); err != nil {
+			scrub.Stop()
+			return ChaosPoint{}, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	scrub.Stop()
+	// Catch rot injected after the scrubber's last chunk, then verify.
+	if _, err := scrub.RunOnce(); err != nil {
+		return ChaosPoint{}, err
+	}
+	if viols, err := audit.RunOnce(sys, false); err != nil {
+		return ChaosPoint{}, err
+	} else if len(viols) > 0 {
+		return ChaosPoint{}, fmt.Errorf("%d violations survived the repair passes (first: %s)",
+			len(viols), viols[0])
+	}
+	m := sys.Metrics()
+	return ChaosPoint{
+		Rate:      rate,
+		Variant:   multistore.VariantMSMiso,
+		Mode:      "audit",
+		TTI:       m.TTI(),
+		Recovery:  m.Recovery,
+		Retries:   m.Retries,
+		Fallbacks: m.Fallbacks,
+		Completed: len(sys.Reports()),
+
+		ViolationsDetected:   m.AuditViolations,
+		ViolationsRepaired:   m.AuditRepaired,
+		ViolationsUnrepaired: m.AuditUnrepaired,
+	}, nil
 }
 
 // chaosCrashProfile arms the crash-plane sites at the sweep rate: process
@@ -191,19 +262,20 @@ func chaosCrashProfile(rate float64) faults.Profile {
 // failure rate, for each variant and serving mode.
 func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "Chaos sweep: uniform failure rate vs TTI (seed %d)\n", r.Seed)
-	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s %6s %8s %6s %6s %6s %6s %8s\n",
+	fprintf(w, "%6s %-10s %-6s %12s %12s %8s %8s %6s %6s %6s %9s %6s %8s %6s %6s %6s %6s %8s %6s %6s %6s\n",
 		"rate", "variant", "mode", "TTI(s)", "recovery(s)", "rec%", "retries", "fallbk", "sheds", "trips", "degraded",
-		"recov", "replayed", "quarn", "cancel", "memab", "panics", "cp99ms")
+		"recov", "replayed", "quarn", "cancel", "memab", "panics", "cp99ms", "vdet", "vrep", "vunrep")
 	for _, p := range r.Points {
 		pct := 0.0
 		if p.TTI > 0 {
 			pct = 100 * p.Recovery / p.TTI
 		}
-		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d %6d %8d %6d %6d %6d %6d %8.1f\n",
+		fprintf(w, "%5.0f%% %-10s %-6s %12.1f %12.1f %7.1f%% %8d %6d %6d %6d %9d %6d %8d %6d %6d %6d %6d %8.1f %6d %6d %6d\n",
 			100*p.Rate, p.Variant, p.Mode, p.TTI, p.Recovery, pct,
 			p.Retries, p.Fallbacks, p.Sheds, p.BreakerTrips, p.Degraded,
 			p.Recoveries, p.Replayed, p.Quarantined,
-			p.Canceled, p.MemAborted, p.PanicsContained, p.CancelP99Ms)
+			p.Canceled, p.MemAborted, p.PanicsContained, p.CancelP99Ms,
+			p.ViolationsDetected, p.ViolationsRepaired, p.ViolationsUnrepaired)
 	}
 	n := 0
 	if len(r.Points) > 0 {
@@ -214,6 +286,7 @@ func (r *ChaosResult) WriteText(w io.Writer) {
 	fprintf(w, "add process kills survived via checkpoint+WAL recovery (recoveries,\n")
 	fprintf(w, "replayed records, quarantined views); govern rows add caller cancellation,\n")
 	fprintf(w, "memory-budget aborts and contained worker panics with the p99\n")
-	fprintf(w, "cancel-to-idle latency, on top of the retries, backoff and HV fallbacks\n")
-	fprintf(w, "charged by the fault plane\n")
+	fprintf(w, "cancel-to-idle latency; audit rows add bit-rot corruptions detected,\n")
+	fprintf(w, "self-healed and left unrepaired by the background integrity scrubber,\n")
+	fprintf(w, "on top of the retries, backoff and HV fallbacks charged by the fault plane\n")
 }

@@ -68,6 +68,11 @@ const (
 	// wall-clock sleep (frac-scaled), creating straggler workers that
 	// exercise cancellation latency under load.
 	SiteSlowMorsel
+	// SiteViewRot silently flips a value inside a resident materialized
+	// view's table without updating its catalog checksum — bit rot that no
+	// query path notices until the integrity scrubber (or a recovery pass)
+	// re-verifies content checksums.
+	SiteViewRot
 
 	numSites
 )
@@ -77,6 +82,7 @@ var siteNames = [numSites]string{
 	"transfer-load", "dw-load", "dw-query", "reorg-move",
 	"crash-reorg", "crash-transfer", "crash-serve", "wal-write",
 	"view-corrupt", "exec-panic", "mem-pressure", "slow-morsel",
+	"view-rot",
 }
 
 func (s Site) String() string {
@@ -104,6 +110,7 @@ type Profile struct {
 	ExecPanic     float64
 	MemPressure   float64
 	SlowMorsel    float64
+	ViewRot       float64
 }
 
 // Uniform returns a profile with the same rate at every operational site.
@@ -157,6 +164,8 @@ func (p Profile) With(s Site, rate float64) Profile {
 		p.MemPressure = rate
 	case SiteSlowMorsel:
 		p.SlowMorsel = rate
+	case SiteViewRot:
+		p.ViewRot = rate
 	}
 	return p
 }
@@ -196,6 +205,8 @@ func (p Profile) Rate(s Site) float64 {
 		return p.MemPressure
 	case SiteSlowMorsel:
 		return p.SlowMorsel
+	case SiteViewRot:
+		return p.ViewRot
 	default:
 		return 0
 	}

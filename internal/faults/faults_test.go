@@ -156,8 +156,9 @@ func TestProfileRateMapping(t *testing.T) {
 		CrashReorg: 0.01, CrashTransfer: 0.02, CrashServe: 0.03,
 		WALWrite: 0.04, ViewCorrupt: 0.05,
 		ExecPanic: 0.06, MemPressure: 0.07, SlowMorsel: 0.08,
+		ViewRot: 0.09,
 	}
-	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08}
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09}
 	if len(want) != int(numSites) {
 		t.Fatalf("test covers %d sites, have %d", len(want), numSites)
 	}

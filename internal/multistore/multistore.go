@@ -207,6 +207,19 @@ type Metrics struct {
 	// cooperatively canceled — the DW side completed first, or the shadow
 	// itself failed.
 	HedgesCanceled int
+	// AuditViolations counts integrity violations detected by the online
+	// audit plane (AuditViews/AuditInvariants): checksum mismatches, stale
+	// generations, disjointness or budget breaks, WAL inconsistencies.
+	// AuditRepaired counts violations self-healed online (views recomputed
+	// through the HV fallback path, budgets evicted back under limit,
+	// durable payloads re-journaled); AuditUnrepaired counts violations
+	// that could only be quarantined or reported. Like the hedge counters,
+	// all three are excluded from StateDigest: the scrubber runs on a
+	// wall-clock schedule, and an audit-disabled run must stay
+	// byte-identical to a system with no audit plane at all.
+	AuditViolations int
+	AuditRepaired   int
+	AuditUnrepaired int
 }
 
 // TTI returns the total time-to-insight.
@@ -312,6 +325,18 @@ type System struct {
 	// diffed at each boundary to emit view admit/evict records.
 	dur   *durability.Manager
 	jbase map[string]byte
+
+	// tomb holds quarantine tombstones: names the audit plane removed from
+	// the design without repairing. The capture veto and MS-LRU passive
+	// retention refuse a tombstoned name, so an evicted-then-quarantined
+	// view cannot resurrect through opportunistic capture; the set is
+	// cleared when a repair reinstates the name and wholesale at reorg
+	// commit, when the tuner rebuilds the design from the surviving views.
+	// Nil until the first audit quarantine, so audit-disabled runs never
+	// allocate it.
+	tomb map[string]bool
+	// rotLog names the views corrupted by SiteViewRot, in injection order.
+	rotLog []string
 }
 
 // ReorgRecord summarizes one reorganization phase.
@@ -359,9 +384,6 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	est := stats.NewEstimator(cat)
 	h := hv.NewStore(cfg.HV, cat, est)
 	d := dw.NewStore(cfg.DW, est)
-	// Vh ∩ Vd = ∅: an HV fallback recomputing the definition of a view
-	// the tuner moved to DW must not re-capture it on the HV side.
-	h.SetCaptureVeto(d.Views.Has)
 	opt := optimizer.New(h, d, est, cfg.Transfer)
 	if cfg.Variant == VariantHVOnly || cfg.Variant == VariantHVOp {
 		opt.DisableSplits = true
@@ -393,6 +415,14 @@ func New(cfg Config, cat *storage.Catalog) *System {
 		retry:   retry,
 		hedge:   newHedgeTracker(cfg.Hedge),
 	}
+	// Vh ∩ Vd = ∅: an HV fallback recomputing the definition of a view the
+	// tuner moved to DW must not re-capture it on the HV side. A
+	// quarantine-tombstoned name is vetoed for the same reason: capture
+	// would resurrect a view the audit plane just removed. Commit runs on
+	// the serialized query flow under s.mu, so reading s.tomb is safe.
+	h.SetCaptureVeto(func(name string) bool {
+		return d.Views.Has(name) || s.tombstoned(name)
+	})
 	if cfg.CheckpointEvery > 0 {
 		s.dur = durability.NewManager(cfg.CheckpointEvery, durability.NewWAL(inj))
 		// Boot checkpoint: recovery always has a base state to replay over.
@@ -550,6 +580,7 @@ func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, erro
 	defer s.attachBudget()()
 	s.beginOp()
 	s.quarantineStale()
+	s.maybeRot()
 	plan, err := s.builder.BuildSQL(sql)
 	if err != nil {
 		return nil, err
@@ -593,6 +624,7 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	defer s.attachBudget()()
 	s.beginOp()
 	s.quarantineStale()
+	s.maybeRot()
 	plan, err := s.builder.BuildSQL(sql)
 	if err != nil {
 		return nil, err

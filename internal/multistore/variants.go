@@ -453,7 +453,9 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 				}
 				return log.Generation, true
 			})
-			if !s.dw.Views.Has(v.Name) {
+			// A quarantine-tombstoned name must not resurrect through
+			// passive retention any more than through capture.
+			if !s.dw.Views.Has(v.Name) && !s.tombstoned(v.Name) {
 				s.dw.Views.Add(v)
 			}
 		}
@@ -586,6 +588,10 @@ func (s *System) reorg(w *history.Window) error {
 	s.metrics.Recovery += rec.RecoverySeconds
 	s.hv.Views.ReplaceAll(r.NewHV)
 	s.dw.Views.ReplaceAll(r.NewDW)
+	// The tuner rebuilt the design from the surviving views, so quarantine
+	// tombstones have served their purpose: any future materialization of
+	// a tombstoned name is a legitimately fresh recomputation.
+	s.tomb = nil
 	s.metrics.Reorgs++
 	s.reorgLog = append(s.reorgLog, rec)
 

@@ -411,6 +411,19 @@ func (s *Server) Reorganize() error {
 	return err
 }
 
+// Quiesce registers background work (the integrity scrubber) with the
+// drain barrier and returns its release function. The caller may then
+// touch backend state knowing Reorganize is not mid-flight: the barrier
+// is held for read, exactly as an executing query holds it, so scrub
+// chunks and reorganizations strictly alternate — a scrub pass observes
+// the catalog entirely before or entirely after a reorg, never during.
+// Unlike Do, Quiesce does not occupy a worker or an adaptive-limit slot;
+// the scrubber must not compete with queries for admission.
+func (s *Server) Quiesce() (release func()) {
+	s.gate.RLock()
+	return s.gate.RUnlock
+}
+
 // Close stops admission, waits for queued and in-flight queries to
 // finish, and returns. Safe to call more than once.
 func (s *Server) Close() {

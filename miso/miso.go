@@ -14,6 +14,7 @@
 package miso
 
 import (
+	"miso/internal/audit"
 	"miso/internal/core"
 	"miso/internal/data"
 	"miso/internal/durability"
@@ -218,6 +219,10 @@ const (
 	// SiteViewCorrupt silently flips stored view bytes, caught later by
 	// checksum verification.
 	SiteViewCorrupt = faults.SiteViewCorrupt
+	// SiteViewRot silently flips bits inside a resident materialized
+	// view between queries — the bit-rot fault the audit plane exists to
+	// catch and self-heal online (pair with NewScrubber or Audit).
+	SiteViewRot = faults.SiteViewRot
 )
 
 // Exec-plane governance sites for FaultProfile.With: they exercise the
@@ -249,6 +254,50 @@ var ErrCrash = faults.ErrCrash
 
 // ErrCorrupt marks a content-checksum mismatch on stored view bytes.
 var ErrCorrupt = faults.ErrCorrupt
+
+// ErrAuditViolation is the sentinel wrapped by every integrity violation
+// the audit plane reports; match it with errors.Is.
+var ErrAuditViolation = audit.ErrAuditViolation
+
+// AuditViolation describes one integrity violation found by an audit
+// pass: the invariant family, the view and store involved, and whether
+// it was repaired or quarantined.
+type AuditViolation = multistore.AuditViolation
+
+// AuditConfig tunes the background integrity scrubber: chunk size, scrub
+// interval, repair mode, and the serving plane's drain-barrier hook
+// (Server.Quiesce).
+type AuditConfig = audit.Config
+
+// AuditReport is a snapshot of a scrubber's counters and retained
+// violations.
+type AuditReport = audit.Report
+
+// Scrubber is the background integrity scrubber: it incrementally walks
+// the view catalogs under live serving, verifies checksums, freshness,
+// design disjointness, budget conservation, and WAL consistency, and —
+// in repair mode — self-heals corrupt views by recomputation through the
+// HV fallback path.
+//
+//	sc := miso.NewScrubber(sys, miso.AuditConfig{Repair: true, Quiesce: srv.Quiesce})
+//	sc.Start()
+//	defer sc.Stop()
+type Scrubber = audit.Scrubber
+
+// NewScrubber builds a scrubber over a running system; call Start for
+// background scrubbing or RunOnce for a synchronous full pass.
+func NewScrubber(sys *System, cfg AuditConfig) *Scrubber { return audit.New(sys, cfg) }
+
+// Audit runs one synchronous full integrity pass (every view plus the
+// system invariants) and returns the violations found. With repair set,
+// corrupt views are recomputed or quarantined in place.
+func Audit(sys *System, repair bool) ([]AuditViolation, error) {
+	return audit.RunOnce(sys, repair)
+}
+
+// AuditFamilies lists the invariant families a full audit pass
+// verifies, in reporting order.
+func AuditFamilies() []string { return audit.Families() }
 
 // Recover rebuilds a system after a crash from its last checkpoint and WAL:
 // replay, rollback of uncommitted reorganizations and transfers, checksum
