@@ -70,6 +70,7 @@ func main() {
 	benchOut := flag.String("benchout", "", "benchmark pipeline: also write the machine-readable JSON report to this file")
 	benchExec := flag.Bool("benchexec", false, "run the exec benchmark pipeline (morsel engine vs serial baseline; not part of -all)")
 	benchExecOut := flag.String("benchexecout", "", "exec benchmark pipeline: also write the machine-readable JSON report to this file")
+	execGate := flag.Bool("execgate", false, "exec benchmark pipeline: exit nonzero unless every per-operator workers=4 row matches the serial digest and runs at speedup >= 1.0")
 	benchGov := flag.Bool("benchgov", false, "run the governance pipeline (cancellation storm, panic containment, memory budgets; not part of -all)")
 	benchGovOut := flag.String("benchgovout", "", "governance pipeline: also write the machine-readable JSON report to this file")
 	scenarios := flag.Bool("scenarios", false, "run the overload scenario matrix (flash crowd, tenant skew, diurnal, drift, ETL storm, DW brownout; not part of -all)")
@@ -231,7 +232,16 @@ func main() {
 				return err
 			}
 			r.WriteText(os.Stdout)
-			return writeJSON(*benchExecOut, r.WriteJSON)
+			if err := writeJSON(*benchExecOut, r.WriteJSON); err != nil {
+				return err
+			}
+			if *execGate {
+				if err := experiments.GateExec(r); err != nil {
+					return err
+				}
+				fmt.Println("benchexec gate: every operator at speedup >= 1.0 with matching digests")
+			}
+			return nil
 		}},
 		{"benchgov", "governance pipeline: cancellation storm, panic containment, memory budgets", "BENCH_governance.json", func() error {
 			r, err := experiments.BenchGovern(cfg)

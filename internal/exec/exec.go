@@ -62,8 +62,21 @@ type Env struct {
 	Inj *faults.Injector
 }
 
-// Run executes the whole subtree and returns its result.
+// Run executes the whole subtree and returns its result. Under the morsel
+// engine, maximal Filter/Project chains (optionally topped by an
+// Aggregate) are fused into a single columnar pass over their input — see
+// batch.go. Fused or not, results are byte-identical; per-operator Stats
+// are still recorded once per fused stage.
 func Run(n *logical.Node, env *Env) (*storage.Table, error) {
+	if env.parallel() {
+		if chain := fusableChain(n); chain != nil {
+			src, err := Run(chain[len(chain)-1].Children[0], env)
+			if err != nil {
+				return nil, err
+			}
+			return runFusedSafe(chain, env, src)
+		}
+	}
 	inputs := make([]*storage.Table, 0, len(n.Children))
 	switch n.Kind {
 	case logical.KindExtract, logical.KindViewScan, logical.KindScan:

@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"math"
 	"sort"
 	"strconv"
 
@@ -63,6 +64,43 @@ func compileWorkers(e expr.Expr, schema *storage.Schema, workers int) ([]expr.Co
 	return out, nil
 }
 
+// compileBatchWorkers compiles a batch evaluator once per worker
+// (BatchCompiled evaluators own scratch vectors and are single-goroutine).
+func compileBatchWorkers(e expr.Expr, schema *storage.Schema, workers int) ([]expr.BatchCompiled, error) {
+	out := make([]expr.BatchCompiled, workers)
+	for w := 0; w < workers; w++ {
+		c, err := expr.CompileBatch(e, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = c
+	}
+	return out, nil
+}
+
+// newBatchWorkers allocates one Batch per worker over the given schema.
+func newBatchWorkers(schema *storage.Schema, workers int) []*expr.Batch {
+	out := make([]*expr.Batch, workers)
+	for w := range out {
+		out[w] = expr.NewBatch(schema)
+	}
+	return out
+}
+
+// opWorkers clamps the worker count to the morsel count so per-worker
+// compilation and scratch are not paid for workers that would never claim a
+// morsel (forEachMorsel applies the same clamp when scheduling).
+func opWorkers(env *Env, nRows int) int {
+	workers := env.workerCount()
+	if mc := morselCount(nRows, env.morselRows()); workers > mc {
+		workers = mc
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // appendChunks merges per-morsel buffers in morsel order, polling
 // cancellation as it goes.
 func appendChunks(env *Env, out *storage.Table, chunks [][]storage.Row) (*storage.Table, error) {
@@ -82,72 +120,189 @@ func appendChunks(env *Env, out *storage.Table, chunks [][]storage.Row) (*storag
 	return out, nil
 }
 
+// appendBlocks merges per-morsel buffers whose encoded byte sizes were
+// already computed for the ledger reservation, bulk-appending each block
+// into a presized output — no per-row append and no repeat of the per-row
+// size walk — and polling cancellation between blocks.
+func appendBlocks(env *Env, out *storage.Table, chunks [][]storage.Row, sizes []int64) (*storage.Table, error) {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out.Rows = make([]storage.Row, 0, total)
+	sincePoll := 0
+	for m, c := range chunks {
+		out.AppendBlock(c, sizes[m])
+		if sincePoll += len(c); sincePoll >= cancelPollRows {
+			sincePoll = 0
+			if err := env.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// runFilterMorsel is the columnar filter: each morsel evaluates the
+// predicate batch-at-a-time over lazily transposed column vectors and marks
+// survivors in a selection vector instead of copying rows. All morsels
+// share one preallocated selection buffer — morsel m's survivors land in
+// selBuf[start:start+counts[m]], disjoint by construction — so no
+// per-morsel buffer is allocated or grown, which is what removed the
+// partition-merge allocation regression. Survivors are appended as row
+// references in morsel order, byte-identical to the serial engine.
 func runFilterMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
-	workers := env.workerCount()
-	preds, err := compileWorkers(n.Pred, in.Schema, workers)
+	nRows := len(in.Rows)
+	mr := env.morselRows()
+	workers := opWorkers(env, nRows)
+	preds, err := compileBatchWorkers(n.Pred, in.Schema, workers)
 	if err != nil {
 		return nil, err
 	}
+	batches := newBatchWorkers(in.Schema, workers)
 	sc := env.scope()
 	defer sc.Release()
-	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
-	err = forEachMorsel(env, "filter", workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) error {
-		pred := preds[w]
-		var buf []storage.Row
-		for _, row := range in.Rows[start:end] {
-			if v := pred(row); !v.IsNull() && v.Bool() {
-				buf = append(buf, row)
-			}
-		}
-		if err := env.reserve(sc, refRowCost*int64(len(buf))); err != nil {
-			return err
-		}
-		chunks[m] = buf
-		return nil
+	if err := env.reserve(sc, idxCost*int64(nRows)); err != nil {
+		return nil, err
+	}
+	selBuf := make([]int32, nRows)
+	counts := make([]int, morselCount(nRows, mr))
+	err = forEachMorsel(env, "filter", workers, nRows, mr, func(w, m, start, end int) error {
+		b := batches[w]
+		b.Reset(in.Rows[start:end])
+		vec := preds[w](b, nil)
+		sel := vec.TruesInto(selBuf[start:start:end], int32(start))
+		counts[m] = len(sel)
+		return env.reserve(sc, refRowCost*int64(len(sel)))
 	})
 	if err != nil {
 		return nil, err
 	}
-	return appendChunks(env, newOutput(n, in), chunks)
-}
-
-func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
-	workers := env.workerCount()
-	workerEvals := make([][]expr.Compiled, workers)
-	for w := 0; w < workers; w++ {
-		evals := make([]expr.Compiled, len(n.Projs))
-		for i, p := range n.Projs {
-			c, err := expr.Compile(p.Expr, in.Schema)
-			if err != nil {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	env.recordColumnar(logical.KindFilter, int64(len(counts)), int64(nRows))
+	out := newOutput(n, in)
+	out.Rows = make([]storage.Row, 0, total)
+	sincePoll := 0
+	for m, c := range counts {
+		start := m * mr
+		for _, i := range selBuf[start : start+c] {
+			out.MustAppend(in.Rows[i])
+		}
+		if sincePoll += c; sincePoll >= cancelPollRows {
+			sincePoll = 0
+			if err := env.cancelErr(); err != nil {
 				return nil, err
 			}
-			evals[i] = c
+		}
+	}
+	return out, nil
+}
+
+// runProjectMorsel is the columnar projection: each morsel batch-evaluates
+// every projection (vectorized kernels where possible, row fallback for
+// UDFs) and materializes the output rows into one flat value arena per
+// morsel — two allocations per morsel instead of one per row.
+func runProjectMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
+	nRows := len(in.Rows)
+	mr := env.morselRows()
+	workers := opWorkers(env, nRows)
+	workerEvals := make([][]projEval, workers)
+	for w := 0; w < workers; w++ {
+		evals, err := compileProjEvals(n.Projs, in.Schema)
+		if err != nil {
+			return nil, err
 		}
 		workerEvals[w] = evals
 	}
+	batches := newBatchWorkers(in.Schema, workers)
+	width := len(n.Projs)
 	sc := env.scope()
 	defer sc.Release()
-	chunks := make([][]storage.Row, morselCount(len(in.Rows), env.morselRows()))
-	err := forEachMorsel(env, "project", workers, len(in.Rows), env.morselRows(), func(w, m, start, end int) error {
-		evals := workerEvals[w]
-		buf := make([]storage.Row, 0, end-start)
-		for _, row := range in.Rows[start:end] {
-			nr := make(storage.Row, len(evals))
-			for i, e := range evals {
-				nr[i] = e(row)
-			}
-			buf = append(buf, nr)
-		}
-		if err := env.reserve(sc, rowsEncodedSize(buf)); err != nil {
+	chunks := make([][]storage.Row, morselCount(nRows, mr))
+	sizes := make([]int64, len(chunks))
+	err := forEachMorsel(env, "project", workers, nRows, mr, func(w, m, start, end int) error {
+		b := batches[w]
+		b.Reset(in.Rows[start:end])
+		buf := materializeBatch(b, nil, workerEvals[w], width)
+		sz := rowsEncodedSize(buf)
+		if err := env.reserve(sc, sz); err != nil {
 			return err
 		}
-		chunks[m] = buf
+		chunks[m], sizes[m] = buf, sz
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return appendChunks(env, newOutput(n, in), chunks)
+	env.recordColumnar(logical.KindProject, int64(len(chunks)), int64(nRows))
+	return appendBlocks(env, newOutput(n, in), chunks, sizes)
+}
+
+// projEval is one projection column's evaluator. Expressions that compile
+// to batch kernels end-to-end evaluate vectorized; expressions containing
+// a function call evaluate row-at-a-time directly into the output — for
+// them a vector round-trip would only add copying on top of the same
+// per-row work.
+type projEval struct {
+	batch expr.BatchCompiled
+	row   expr.Compiled
+}
+
+// compileProjEvals compiles one projection list for one worker.
+func compileProjEvals(projs []logical.Proj, schema *storage.Schema) ([]projEval, error) {
+	evals := make([]projEval, len(projs))
+	for i, p := range projs {
+		if expr.HasFunc(p.Expr) {
+			c, err := expr.Compile(p.Expr, schema)
+			if err != nil {
+				return nil, err
+			}
+			evals[i].row = c
+			continue
+		}
+		c, err := expr.CompileBatch(p.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		evals[i].batch = c
+	}
+	return evals, nil
+}
+
+// materializeBatch evaluates the projection list over (b, sel) and carves
+// the output rows out of one flat value slice. The rows alias the slice;
+// they are immutable once returned, like every materialized row.
+func materializeBatch(b *expr.Batch, sel []int32, evals []projEval, width int) []storage.Row {
+	nOut := b.Len()
+	if sel != nil {
+		nOut = len(sel)
+	}
+	flat := make([]storage.Value, nOut*width)
+	inRows := b.Rows()
+	for k := range evals {
+		if ev := evals[k].batch; ev != nil {
+			vec := ev(b, sel)
+			for j := 0; j < nOut; j++ {
+				flat[j*width+k] = vec.Value(j)
+			}
+		} else if sel == nil {
+			for j := 0; j < nOut; j++ {
+				flat[j*width+k] = evals[k].row(inRows[j])
+			}
+		} else {
+			for j, i := range sel {
+				flat[j*width+k] = evals[k].row(inRows[i])
+			}
+		}
+	}
+	rows := make([]storage.Row, nOut)
+	for j := range rows {
+		rows[j] = storage.Row(flat[j*width : (j+1)*width : (j+1)*width])
+	}
+	return rows
 }
 
 // rowBuckets records, per morsel, which row indexes land in each hash
@@ -165,19 +320,24 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 	sc := env.scope()
 	defer sc.Release()
 
-	// Phase 1: hash both sides in parallel, bucketing the build side.
+	// Phase 1: hash both sides in parallel, bucketing the build side. Key
+	// hashing is column-wise: each morsel transposes its key columns into
+	// typed vectors and folds them into one Value.HashInto chain per row
+	// (keyHasher), which is byte-equivalent to the serial per-row chain.
 	if err := env.reserve(sc, int64(len(right.Rows))*(hashCost+idxCost)+int64(len(left.Rows))*(hashCost+1)); err != nil {
 		return nil, err
 	}
+	hashers := make([]keyHasher, workers)
 	rHash := make([]uint64, len(right.Rows))
 	rBuckets := make([]rowBuckets, morselCount(len(right.Rows), mr))
-	err = forEachMorsel(env, "join-hash", workers, len(right.Rows), mr, func(_, m, start, end int) error {
+	err = forEachMorsel(env, "join-hash", workers, len(right.Rows), mr, func(w, m, start, end int) error {
+		hs, ok := hashers[w].hashWindow(right.Rows[start:end], right.Schema, rIdx)
 		var b rowBuckets
-		for i := start; i < end; i++ {
-			h, ok := hashKeys(right.Rows[i], rIdx)
-			if !ok {
+		for j, h := range hs {
+			if !ok[j] {
 				continue // NULL keys never match
 			}
+			i := start + j
 			rHash[i] = h
 			p := int(h & (partitions - 1))
 			b[p] = append(b[p], int32(i))
@@ -190,10 +350,12 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 	}
 	lHash := make([]uint64, len(left.Rows))
 	lOK := make([]bool, len(left.Rows))
-	err = forEachMorsel(env, "join-hash", workers, len(left.Rows), mr, func(_, _, start, end int) error {
-		for i := start; i < end; i++ {
-			lHash[i], lOK[i] = hashKeys(left.Rows[i], lIdx)
-		}
+	err = forEachMorsel(env, "join-hash", workers, len(left.Rows), mr, func(w, _, start, end int) error {
+		hs, ok := hashers[w].hashWindow(left.Rows[start:end], left.Schema, lIdx)
+		// Hash slots of NULL-keyed rows hold unspecified values; the probe
+		// only reads lHash[i] when lOK[i] is true.
+		copy(lHash[start:end], hs)
+		copy(lOK[start:end], ok)
 		return nil
 	})
 	if err != nil {
@@ -225,10 +387,16 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 	}
 
 	// Phase 3: probe morsels over the left side, merged in morsel order.
+	// Output rows are carved out of per-worker arenas — one value-block
+	// allocation per ~hundreds of rows instead of one per match — which is
+	// where the join's GC pressure went.
 	rWidth := right.Schema.Len()
 	leftJoin := n.JoinType == logical.JoinLeft
+	arenas := make([]rowArena, workers)
 	chunks := make([][]storage.Row, morselCount(len(left.Rows), mr))
-	err = forEachMorsel(env, "join-probe", workers, len(left.Rows), mr, func(_, m, start, end int) error {
+	sizes := make([]int64, len(chunks))
+	err = forEachMorsel(env, "join-probe", workers, len(left.Rows), mr, func(w, m, start, end int) error {
+		arena := &arenas[w]
 		var buf []storage.Row
 		for i := start; i < end; i++ {
 			lrow := left.Rows[i]
@@ -238,7 +406,7 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 				for _, rrow := range builds[h&(partitions-1)][h] {
 					if keysEqual(lrow, rrow, lIdx, rIdx) {
 						matched = true
-						nr := make(storage.Row, 0, len(lrow)+rWidth)
+						nr := arena.alloc(len(lrow) + rWidth)
 						nr = append(nr, lrow...)
 						nr = append(nr, rrow...)
 						buf = append(buf, nr)
@@ -246,7 +414,7 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 				}
 			}
 			if !matched && leftJoin {
-				nr := make(storage.Row, 0, len(lrow)+rWidth)
+				nr := arena.alloc(len(lrow) + rWidth)
 				nr = append(nr, lrow...)
 				for j := 0; j < rWidth; j++ {
 					nr = append(nr, storage.Null)
@@ -254,16 +422,20 @@ func runJoinMorsel(n *logical.Node, env *Env, left, right *storage.Table) (*stor
 				buf = append(buf, nr)
 			}
 		}
-		if err := env.reserve(sc, rowsEncodedSize(buf)); err != nil {
+		sz := rowsEncodedSize(buf)
+		if err := env.reserve(sc, sz); err != nil {
 			return err
 		}
-		chunks[m] = buf
+		chunks[m], sizes[m] = buf, sz
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return appendChunks(env, newOutput(n, left, right), chunks)
+	env.recordColumnar(logical.KindJoin,
+		int64(morselCount(len(right.Rows), mr)+2*morselCount(len(left.Rows), mr)),
+		int64(len(left.Rows)+len(right.Rows)))
+	return appendBlocks(env, newOutput(n, left, right), chunks, sizes)
 }
 
 // appendTaggedKey appends a kind tag byte then the value's bytes, so
@@ -297,79 +469,114 @@ func appendValueKey(b []byte, v storage.Value) []byte {
 	}
 }
 
+// distinctRowsEqual reports whether two rows are the same distinct key.
+// It is value-wise kind-tagged equality — exactly the relation induced by
+// the serial engine's appendTaggedKey strings (kind byte + exact value
+// representation): numerics never equal strings, Int 1 never equals Float
+// 1.0, floats compare by bit pattern except that every NaN is one key, and
+// ±0.0 are distinct keys (their decimal forms differ).
+func distinctRowsEqual(a, b storage.Row) bool {
+	for i := range a {
+		if !valueKeyEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// valueKeyEqual is the per-value leg of distinctRowsEqual: same tagged key.
+func valueKeyEqual(va, vb storage.Value) bool {
+	if va.Kind != vb.Kind {
+		return false
+	}
+	switch va.Kind {
+	case storage.KindInt, storage.KindBool:
+		return va.I == vb.I
+	case storage.KindString:
+		return va.S == vb.S
+	case storage.KindFloat:
+		return math.Float64bits(va.F) == math.Float64bits(vb.F) ||
+			(math.IsNaN(va.F) && math.IsNaN(vb.F))
+	}
+	return true
+}
+
 func runDistinctMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table, error) {
-	workers := env.workerCount()
+	nRows := len(in.Rows)
+	workers := opWorkers(env, nRows)
 	mr := env.morselRows()
 	sc := env.scope()
 	defer sc.Release()
-	// Phase 1: hash whole rows, bucketing by partition.
-	if err := env.reserve(sc, int64(len(in.Rows))*(hashCost+idxCost)); err != nil {
+	// Phase 1: hash whole rows in parallel morsels with the fast internal
+	// mix hash (Value.MixInto) — row-major, since every column participates
+	// and a transpose would only add copying. NULL values fold in like any
+	// other (a NULL is a real distinct key), and the dedup pass verifies
+	// hash collisions value-wise, so the hash needs no other property than
+	// "tagged-key-equal rows hash equal".
+	if err := env.reserve(sc, hashCost*int64(nRows)); err != nil {
 		return nil, err
 	}
-	buckets := make([]rowBuckets, morselCount(len(in.Rows), mr))
-	hashes := make([]uint64, len(in.Rows))
-	err := forEachMorsel(env, "distinct-hash", workers, len(in.Rows), mr, func(_, m, start, end int) error {
-		var b rowBuckets
+	hashes := make([]uint64, nRows)
+	err := forEachMorsel(env, "distinct-hash", workers, nRows, mr, func(_, _, start, end int) error {
 		for i := start; i < end; i++ {
 			h := storage.HashSeed
 			for _, v := range in.Rows[i] {
-				h = v.HashInto(h)
+				h = v.MixInto(h)
 			}
 			hashes[i] = h
-			p := int(h & (partitions - 1))
-			b[p] = append(b[p], int32(i))
 		}
-		buckets[m] = b
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Phase 2: per-partition first-seen dedup over input-ordered buckets.
-	kept := make([][]int32, partitions)
-	err = forEachTask(env, "distinct-dedup", workers, partitions, func(_, p int) error {
-		seen := make(map[string]struct{})
-		var keyBuf []byte
-		var keyBytes int64
-		var local []int32
-		for _, b := range buckets {
-			for _, i := range b[p] {
-				keyBuf = keyBuf[:0]
-				for _, v := range in.Rows[i] {
-					keyBuf = appendTaggedKey(keyBuf, v)
-					keyBuf = append(keyBuf, 0)
-				}
-				if _, ok := seen[string(keyBuf)]; ok {
-					continue
-				}
-				seen[string(keyBuf)] = struct{}{}
-				keyBytes += int64(len(keyBuf))
-				local = append(local, i)
-			}
-		}
-		if err := env.reserve(sc, keyBytes+idxCost*int64(len(local))); err != nil {
-			return err
-		}
-		kept[p] = local
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Phase 3: merge survivors by input position — global first-seen order.
-	var all []int32
-	for _, k := range kept {
-		all = append(all, k...)
-	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	env.recordColumnar(logical.KindDistinct, int64(morselCount(nRows, mr)), int64(nRows))
+	// Phase 2: one ordered dedup pass keyed by the precomputed 64-bit
+	// hashes — first-seen order IS input order, so no partition merge or
+	// position sort is needed. Rows that collide on the full hash are
+	// verified value-wise; the overflow map stays empty in practice, so the
+	// common path is a single integer-keyed probe per row, with no per-row
+	// key strings. That is strictly less per-row work than the serial
+	// engine's tagged-key build, which is where the distinct speedup on
+	// low-core machines comes from (hashing still parallelizes above).
+	first := make(map[uint64]int32, nRows/4+16)
+	var overflow map[uint64][]int32
 	out := newOutput(n, in)
-	for j, i := range all {
-		if j%cancelPollRows == cancelPollRows-1 {
+	kept := 0
+	for i, row := range in.Rows {
+		if i%cancelPollRows == cancelPollRows-1 {
 			if err := env.cancelErr(); err != nil {
 				return nil, err
 			}
+			if err := env.reserve(sc, (hashCost+idxCost)*int64(kept)); err != nil {
+				return nil, err
+			}
+			kept = 0
 		}
-		out.MustAppend(in.Rows[i])
+		h := hashes[i]
+		if r0, ok := first[h]; ok {
+			if distinctRowsEqual(row, in.Rows[r0]) {
+				continue
+			}
+			dup := false
+			for _, r := range overflow[h] {
+				if distinctRowsEqual(row, in.Rows[r]) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if overflow == nil {
+				overflow = make(map[uint64][]int32)
+			}
+			overflow[h] = append(overflow[h], int32(i))
+		} else {
+			first[h] = int32(i)
+		}
+		kept++
+		out.MustAppend(row)
 	}
 	return out, nil
 }

@@ -19,9 +19,11 @@ type Stats struct {
 }
 
 type opCounters struct {
-	calls atomic.Int64
-	rows  atomic.Int64
-	nanos atomic.Int64
+	calls   atomic.Int64
+	rows    atomic.Int64
+	nanos   atomic.Int64
+	batches atomic.Int64
+	rowsIn  atomic.Int64
 }
 
 func (s *Stats) record(k logical.Kind, rows int, d time.Duration) {
@@ -34,6 +36,24 @@ func (s *Stats) record(k logical.Kind, rows int, d time.Duration) {
 	c.nanos.Add(d.Nanoseconds())
 }
 
+// recordColumnar adds batch-path counters for one operator run: how many
+// column batches (morsels) it processed and how many input rows they held.
+// Together with the output row counter this exposes per-operator
+// selectivity — Rows/RowsIn — without touching the hot loops.
+func (s *Stats) recordColumnar(k logical.Kind, batches, rowsIn int64) {
+	if s == nil || int(k) >= numKinds {
+		return
+	}
+	c := &s.ops[k]
+	c.batches.Add(batches)
+	c.rowsIn.Add(rowsIn)
+}
+
+// recordColumnar forwards batch counters to the Env's Stats (nil-safe).
+func (env *Env) recordColumnar(k logical.Kind, batches, rowsIn int64) {
+	env.Stats.recordColumnar(k, batches, rowsIn)
+}
+
 // OpStat is one operator's aggregate timings.
 type OpStat struct {
 	// Op is the operator name (extract, filter, join, ...).
@@ -44,6 +64,20 @@ type OpStat struct {
 	Rows int64
 	// Time is the summed wall clock across those calls.
 	Time time.Duration
+	// Batches is the number of column batches (morsels) the columnar path
+	// processed; zero when the operator ran serially.
+	Batches int64
+	// RowsIn is the total input rows those batches held.
+	RowsIn int64
+}
+
+// Selectivity returns output rows per input row for the columnar path, or
+// 0 when no input rows were counted.
+func (o OpStat) Selectivity() float64 {
+	if o.RowsIn == 0 {
+		return 0
+	}
+	return float64(o.Rows) / float64(o.RowsIn)
 }
 
 // Breakdown returns the non-empty operator rows in fixed kind order.
@@ -59,10 +93,12 @@ func (s *Stats) Breakdown() []OpStat {
 			continue
 		}
 		out = append(out, OpStat{
-			Op:    logical.Kind(k).String(),
-			Calls: calls,
-			Rows:  c.rows.Load(),
-			Time:  time.Duration(c.nanos.Load()),
+			Op:      logical.Kind(k).String(),
+			Calls:   calls,
+			Rows:    c.rows.Load(),
+			Time:    time.Duration(c.nanos.Load()),
+			Batches: c.batches.Load(),
+			RowsIn:  c.rowsIn.Load(),
 		})
 	}
 	return out
@@ -77,6 +113,8 @@ func (s *Stats) Reset() {
 		s.ops[k].calls.Store(0)
 		s.ops[k].rows.Store(0)
 		s.ops[k].nanos.Store(0)
+		s.ops[k].batches.Store(0)
+		s.ops[k].rowsIn.Store(0)
 	}
 }
 
@@ -90,12 +128,18 @@ func (s *Stats) WriteBreakdown(w io.Writer) {
 	for _, r := range rows {
 		total += r.Time
 	}
-	fmt.Fprintf(w, "  %-10s %7s %10s %12s %6s\n", "operator", "calls", "rows", "time", "share")
+	fmt.Fprintf(w, "  %-10s %7s %10s %12s %6s %8s %10s %6s\n",
+		"operator", "calls", "rows", "time", "share", "batches", "rows_in", "sel")
 	for _, r := range rows {
 		share := 0.0
 		if total > 0 {
 			share = float64(r.Time) / float64(total) * 100
 		}
-		fmt.Fprintf(w, "  %-10s %7d %10d %12s %5.1f%%\n", r.Op, r.Calls, r.Rows, r.Time.Round(time.Microsecond), share)
+		sel := "-"
+		if r.RowsIn > 0 {
+			sel = fmt.Sprintf("%.2f", r.Selectivity())
+		}
+		fmt.Fprintf(w, "  %-10s %7d %10d %12s %5.1f%% %8d %10d %6s\n",
+			r.Op, r.Calls, r.Rows, r.Time.Round(time.Microsecond), share, r.Batches, r.RowsIn, sel)
 	}
 }

@@ -110,17 +110,27 @@ func (f *execFixture) benchNode(name string, n *logical.Node, inputs []*storage.
 	}
 	digest := storage.ChecksumTable(out)
 	var runErr error
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := exec.RunNode(n, env, inputs); err != nil {
-				runErr = err
-				b.FailNow()
+	// Best-of-3: per-operator runs are sub-millisecond, so a background
+	// load spike during one engine's measurement window can flip a ratio;
+	// the minimum ns/op of three repetitions is the stable estimate of what
+	// the operator actually costs.
+	var res testing.BenchmarkResult
+	for rep := 0; rep < 3; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.RunNode(n, env, inputs); err != nil {
+					runErr = err
+					b.FailNow()
+				}
 			}
+		})
+		if runErr != nil {
+			return BenchRow{}, 0, runErr
 		}
-	})
-	if runErr != nil {
-		return BenchRow{}, 0, runErr
+		if rep == 0 || r.NsPerOp() < res.NsPerOp() {
+			res = r
+		}
 	}
 	return BenchRow{
 		Name:        name,
@@ -131,6 +141,40 @@ func (f *execFixture) benchNode(name string, n *logical.Node, inputs []*storage.
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		Digest:      fmt.Sprintf("%016x", digest),
 	}, digest, nil
+}
+
+// GateExec enforces the columnar performance floor on a benchexec report:
+// every per-operator morsel row must match the serial digest AND run at
+// least as fast as the serial baseline (speedup >= 1.0). It returns an
+// error listing every violation, so a perf regression in one operator
+// fails CI with the full picture rather than the first symptom.
+func GateExec(rep *BenchReport) error {
+	var bad []string
+	checked := 0
+	for _, r := range rep.Rows {
+		if r.Workers != 4 || len(r.Name) < 6 || r.Name[:5] != "exec/" || r.Name == "exec/workload/workers=4" {
+			continue
+		}
+		checked++
+		if !r.DigestMatchesBaseline {
+			bad = append(bad, fmt.Sprintf("%s: digest does not match serial baseline", r.Name))
+		}
+		if r.SpeedupVsBaseline < 1.0 {
+			bad = append(bad, fmt.Sprintf("%s: speedup %.2fx < 1.0x vs serial (%.2fms vs baseline)",
+				r.Name, r.SpeedupVsBaseline, float64(r.NsPerOp)/1e6))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("benchexec gate: no per-operator workers=4 rows in report")
+	}
+	if len(bad) > 0 {
+		msg := "benchexec gate: columnar floor violated:"
+		for _, b := range bad {
+			msg += "\n  " + b
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
 }
 
 // BenchExec runs the exec benchmark pipeline: per-operator serial-vs-

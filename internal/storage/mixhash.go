@@ -1,0 +1,130 @@
+// Fast internal mix hash: the word-at-a-time counterpart of the FNV byte
+// stream in Value.HashInto, for hot paths where the hash never leaves one
+// operator run. Group-by and DISTINCT partition rows by kind-tagged key
+// equality (appendTaggedKey semantics) and verify every collision value-
+// wise, so their hash only has to satisfy one invariant — tagged-key-equal
+// values hash equal — and can trade the HashInto contract for speed:
+// integers and floats fold in one multiply instead of eight byte rounds,
+// and strings go through hash/maphash's AES-accelerated string hash.
+//
+// Joins must NOT use this hash: join key matching follows storage.Equal,
+// whose numeric coercion HashInto mirrors and MixInto deliberately does
+// not.
+package storage
+
+import (
+	"hash/maphash"
+	"math"
+)
+
+// mixSeed keys the string leg. It is random per process, which is fine:
+// the mix hash only partitions rows inside one operator run, and operator
+// outputs never depend on partition assignment.
+var mixSeed = maphash.MakeSeed()
+
+// Kind tags for the mix hash — arbitrary odd 64-bit constants, one per
+// kind, so values of different kinds rarely collide (callers verify
+// collisions value-wise regardless).
+const (
+	mixPrime    = 0x9E3779B97F4A7C15
+	mixNullTag  = 0x5BF03635AEDC1E77
+	mixIntTag   = 0x7F4A7C159E3779B9
+	mixBoolTag  = 0x94D049BB133111EB
+	mixFloatTag = 0x2545F4914F6CDD1D
+	mixStrTag   = 0xBF58476D1CE4E5B9
+	mixNaN      = 0x8E8B5B1EE7A1C3D5
+)
+
+// mix64 folds x into h: one multiply plus a shift-xor, so both the high
+// bits (map buckets) and the low bits (partition masks) are usable.
+func mix64(h, x uint64) uint64 {
+	h = (h ^ x) * mixPrime
+	return h ^ h>>32
+}
+
+// The per-kind legs are shared between Value.MixInto and Vector.MixHashInto
+// so the row-major and columnar paths hash identical values identically —
+// required because one operator run may see the same key through a typed
+// vector in one morsel and a degraded generic vector in another.
+func mixIntLeg(h uint64, x int64) uint64  { return mix64(h^mixIntTag, uint64(x)) }
+func mixBoolLeg(h uint64, x int64) uint64 { return mix64(h^mixBoolTag, uint64(x)) }
+func mixStrLeg(h uint64, s string) uint64 { return mix64(h^mixStrTag, maphash.String(mixSeed, s)) }
+func mixNullLeg(h uint64) uint64          { return mix64(h, mixNullTag) }
+
+func mixFloatLeg(h uint64, f float64) uint64 {
+	if math.IsNaN(f) {
+		// Every NaN is one tagged key (they all format as "NaN").
+		return mix64(h^mixFloatTag, mixNaN)
+	}
+	// By bit pattern: tagged keys use the exact decimal form, which
+	// round-trips, so distinct bit patterns (including ±0) are distinct
+	// keys and may hash apart.
+	return mix64(h^mixFloatTag, math.Float64bits(f))
+}
+
+// MixInto folds v into h with the fast internal mix hash. Its only
+// guarantee is the one group/distinct partitioning needs: values with
+// equal kind-tagged keys hash equal. It does not match HashInto, does not
+// coerce across numeric kinds, and is not stable across processes — never
+// use it for anything persisted or order-affecting.
+func (v Value) MixInto(h uint64) uint64 {
+	switch v.Kind {
+	case KindInt:
+		return mixIntLeg(h, v.I)
+	case KindBool:
+		return mixBoolLeg(h, v.I)
+	case KindFloat:
+		return mixFloatLeg(h, v.F)
+	case KindString:
+		return mixStrLeg(h, v.S)
+	default:
+		return mixNullLeg(h)
+	}
+}
+
+// MixHashInto folds element i into hs[i] for every element, exactly as
+// chaining Value.MixInto over the reconstructed values would — the
+// columnar leg of the group/distinct partition hash. hs must have at least
+// Len entries. It allocates nothing.
+func (v *Vector) MixHashInto(hs []uint64) {
+	if v.generic {
+		for i, val := range v.Vals {
+			hs[i] = val.MixInto(hs[i])
+		}
+		return
+	}
+	switch v.kind {
+	case KindInt:
+		for i, x := range v.Ints {
+			if v.NullAt(i) {
+				hs[i] = mixNullLeg(hs[i])
+			} else {
+				hs[i] = mixIntLeg(hs[i], x)
+			}
+		}
+	case KindBool:
+		for i, x := range v.Ints {
+			if v.NullAt(i) {
+				hs[i] = mixNullLeg(hs[i])
+			} else {
+				hs[i] = mixBoolLeg(hs[i], x)
+			}
+		}
+	case KindFloat:
+		for i, f := range v.Floats {
+			if v.NullAt(i) {
+				hs[i] = mixNullLeg(hs[i])
+			} else {
+				hs[i] = mixFloatLeg(hs[i], f)
+			}
+		}
+	case KindString:
+		for i, s := range v.Strs {
+			if v.NullAt(i) {
+				hs[i] = mixNullLeg(hs[i])
+			} else {
+				hs[i] = mixStrLeg(hs[i], s)
+			}
+		}
+	}
+}

@@ -67,6 +67,24 @@ func (t *Table) MustAppend(r Row) {
 	}
 }
 
+// AppendBlock bulk-appends rows whose total encoded size the caller has
+// already computed — typically during a parallel materialization phase
+// whose memory reservation needed the same per-row size walk. Arity is
+// still validated; the size walk is not repeated. Passing a size that is
+// not the sum of the rows' EncodedSize corrupts RawBytes, so callers must
+// hand over exactly the bytes they reserved for these rows.
+func (t *Table) AppendBlock(rows []Row, encodedBytes int64) {
+	want := t.Schema.Len()
+	for _, r := range rows {
+		if len(r) != want {
+			panic(fmt.Sprintf("storage: row arity %d does not match schema %s of table %q",
+				len(r), t.Schema, t.Name))
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.bytes += encodedBytes
+}
+
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return len(t.Rows) }
 

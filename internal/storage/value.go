@@ -6,7 +6,6 @@ package storage
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 )
 
@@ -267,24 +266,16 @@ func (v Value) Hash() uint64 {
 // column per row. Chain key columns as h = v.HashInto(h) starting from any
 // seed.
 func (v Value) HashInto(h uint64) uint64 {
+	// The three per-kind legs live in vector.go so Vector.HashChainInto
+	// folds the exact same byte stream column-wise.
 	switch v.Kind {
 	case KindNull:
-		h = (h ^ 0) * fnvPrime64
+		h = hashNullInto(h)
 	case KindInt, KindBool, KindFloat:
 		f, _ := v.AsFloat()
-		if f == 0 {
-			f = 0 // normalize -0.0
-		}
-		u := math.Float64bits(f)
-		h = (h ^ 1) * fnvPrime64
-		for i := 0; i < 8; i++ {
-			h = (h ^ uint64(byte(u>>(8*i)))) * fnvPrime64
-		}
+		h = hashNumInto(h, f)
 	case KindString:
-		h = (h ^ 2) * fnvPrime64
-		for i := 0; i < len(v.S); i++ {
-			h = (h ^ uint64(v.S[i])) * fnvPrime64
-		}
+		h = hashStrInto(h, v.S)
 	}
 	return h
 }
