@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench chaos soak serve crash govern scenarios endurance lint
+.PHONY: tier1 build vet test race bench chaos soak serve crash govern scenarios endurance cache lint
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite under the race detector, and explicit runs of the
@@ -11,8 +11,9 @@ GO ?= go
 # regressions (hedge digest identity, breaker half-open contention,
 # quota fairness, pool storm, retry budgets), and the integrity-plane
 # regressions (self-healing repair, quarantine tombstones, audit
-# byte-identity, scrub-during-reorganize, scrub-during-recovery) — all
-# race-enabled.
+# byte-identity, scrub-during-reorganize, scrub-during-recovery), and
+# the reuse-plane regressions (cache-hit digest identity, invalidation
+# edges, piggybacking, disabled byte-identity) — all race-enabled.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -23,6 +24,8 @@ tier1:
 	$(GO) test -race -run 'TestHedgeDigestIdentity|TestHedgeDisabledIsStrictNoOp|TestRetryBudgetCapsRecovery' -count 1 ./internal/multistore/
 	$(GO) test -race -run 'TestAuditRepairsCorruptView|TestQuarantineTombstoneBlocksCapture|TestEvictThenQuarantineNoLRURetention|TestAuditCleanRunByteIdentity' -count 1 ./internal/multistore/
 	$(GO) test -race -run 'TestScrubDuringReorganize|TestScrubDuringRecovery|TestBackgroundScrubberUnderLoad' -count 1 ./internal/audit/
+	$(GO) test -race -run 'TestReuse' -count 1 ./internal/multistore/
+	$(GO) test -race -run 'TestPlanHashZeroAlloc|TestFlightPiggyback|TestCacheHitMissAndDigestVerify' -count 1 ./internal/mqo/
 	$(GO) test -race -run 'TestPoolStorm' -count 1 ./internal/govern/
 	$(GO) test -race -run 'TestTuneDeterministicAcrossWorkerCounts' -count 1 ./internal/core/
 	$(GO) test -race -run 'TestMorselEngineByteIdenticalToSerial|TestMorselEngineFullWorkloadDigest|TestSortFullRowTieBreak' -count 1 ./internal/exec/
@@ -78,6 +81,13 @@ endurance:
 # fails if any scenario misses its acceptance checks.
 scenarios:
 	$(GO) run ./cmd/misobench -scenarios -scale small
+
+# cache runs the cross-query reuse soak (semantic result cache +
+# shared-flight piggybacking vs cold execution) and fails unless reuse
+# wins >= 2x throughput with a nonzero hit rate and digest-identical
+# answers (BENCH_cache.json).
+cache:
+	$(GO) run ./cmd/misobench -mode cache -scale small
 
 # lint runs the static analyzers when they are installed; it skips them
 # with a note otherwise so offline checkouts still build.

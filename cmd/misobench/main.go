@@ -20,6 +20,7 @@
 //	misobench -benchgov -benchgovout BENCH_governance.json  # governance pipeline
 //	misobench -scenarios                 # overload scenario matrix -> BENCH_scenarios.json
 //	misobench -endurance                 # adversarial endurance harness -> BENCH_endurance.json
+//	misobench -mode cache -scale small   # cross-query reuse soak -> BENCH_cache.json
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whatever experiments the invocation runs (see README.md).
@@ -76,6 +77,9 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the overload scenario matrix (flash crowd, tenant skew, diurnal, drift, ETL storm, DW brownout; not part of -all)")
 	scenariosOut := flag.String("scenariosout", "BENCH_scenarios.json", "scenario matrix: write the machine-readable JSON report to this file ('' disables)")
 	phaseDur := flag.Duration("phasedur", 0, "scenario matrix: duration of each load phase (0 = default)")
+	cacheSessions := flag.Int("cachesessions", 0, "cache soak: concurrent client sessions (0 = default 4)")
+	cacheRounds := flag.Int("cacherounds", 0, "cache soak: workload passes per session (0 = default 3)")
+	cacheOut := flag.String("cacheout", "BENCH_cache.json", "cache soak: write the machine-readable JSON report to this file ('' disables)")
 	endurance := flag.Bool("endurance", false, "run the long-horizon adversarial endurance harness (integrity extension; not part of -all)")
 	enduranceOut := flag.String("enduranceout", "BENCH_endurance.json", "endurance harness: write the machine-readable JSON report to this file ('' disables)")
 	enduranceTenants := flag.Int("endurancetenants", 0, "endurance: closed-loop client/tenant population (0 = default 200)")
@@ -283,6 +287,29 @@ func main() {
 			}
 			if !r.Passed() {
 				return fmt.Errorf("scenario matrix: one or more scenarios failed their acceptance checks")
+			}
+			return nil
+		}},
+		{"cache", "cross-query reuse soak: semantic result cache + shared-flight piggybacking vs cold execution", "BENCH_cache.json", func() error {
+			cc := experiments.DefaultCache(cfg)
+			if *cacheSessions > 0 {
+				cc.Sessions = *cacheSessions
+			}
+			if *cacheRounds > 0 {
+				cc.Rounds = *cacheRounds
+			}
+			cc.Workers = *workers
+			cc.Queue = *queue
+			r, err := experiments.BenchCache(cc)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			if err := writeJSON(*cacheOut, r.WriteJSON); err != nil {
+				return err
+			}
+			if !r.Passed() {
+				return fmt.Errorf("cache soak: acceptance gate failed (want speedup >= 2x, hit rate > 0, digest-identical answers, drain-barrier invalidation)")
 			}
 			return nil
 		}},

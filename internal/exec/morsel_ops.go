@@ -38,6 +38,7 @@ const (
 	idxCost    = 4  // bytes per int32 row index
 	hashCost   = 8  // bytes per uint64 row hash
 	valueCost  = 24 // bytes per precomputed storage.Value (keys)
+	vecKeyCost = 16 // bytes per typed key-vector element (sort columns)
 	groupCost  = 64 // fixed overhead per hash-table group entry
 )
 
@@ -617,6 +618,35 @@ func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table
 	if err != nil {
 		return nil, err
 	}
+	// Transpose the precomputed keys into one typed vector per key column:
+	// the comparator then runs tight per-kind loops (CompareAt) instead of
+	// switching on Value.Kind at every comparison. A mixed-kind column
+	// degrades to generic storage, whose CompareAt falls back to
+	// storage.Compare — orderings are digest-identical to the serial
+	// comparator either way.
+	if err := env.reserve(sc, int64(len(in.Rows))*vecKeyCost*int64(nK)); err != nil {
+		return nil, err
+	}
+	keyCols := make([]*storage.Vector, nK)
+	for k := 0; k < nK; k++ {
+		kind := storage.KindInt
+		for i := 0; i < len(in.Rows); i++ {
+			if kv := keys[i*nK+k]; kv.Kind != storage.KindNull {
+				kind = kv.Kind
+				break
+			}
+		}
+		vec := storage.NewVector(kind)
+		for i := 0; i < len(in.Rows); i++ {
+			if i%cancelPollRows == cancelPollRows-1 {
+				if err := env.cancelErr(); err != nil {
+					return nil, err
+				}
+			}
+			vec.Append(keys[i*nK+k])
+		}
+		keyCols[k] = vec
+	}
 	idx := make([]int32, len(in.Rows))
 	for i := range idx {
 		idx[i] = int32(i)
@@ -633,7 +663,7 @@ func runSortMorsel(n *logical.Node, env *Env, in *storage.Table) (*storage.Table
 		}
 		ia, ib := idx[a], idx[b]
 		for k := range n.SortKeys {
-			c := storage.Compare(keys[int(ia)*nK+k], keys[int(ib)*nK+k])
+			c := keyCols[k].CompareAt(int(ia), int(ib))
 			if n.SortKeys[k].Desc {
 				c = -c
 			}

@@ -1,0 +1,120 @@
+package mqo
+
+import (
+	"context"
+	"sync"
+
+	"miso/internal/storage"
+)
+
+// FlightStats is a point-in-time snapshot of single-flight activity.
+type FlightStats struct {
+	Leaders   int // calls that executed on behalf of a fingerprint
+	Followers int // calls that joined an in-flight leader
+	Shared    int // followers that received the leader's result
+	Fallbacks int // followers whose leader failed; they re-executed cold
+}
+
+// Call is one in-flight execution of a fingerprinted plan. The leader
+// executes and Completes it; followers Wait on it.
+type Call struct {
+	done   chan struct{}
+	table  *storage.Table
+	digest uint64
+	err    error
+}
+
+// Registry is the single-flight table for shared-scan piggybacking: the
+// first query to Join a fingerprint becomes the leader and executes;
+// concurrent queries with the same fingerprint become followers and
+// receive the leader's materialized result without re-executing. A nil
+// *Registry is the disabled registry.
+type Registry struct {
+	mu    sync.Mutex
+	calls map[Fingerprint]*Call
+	stats FlightStats
+}
+
+// NewRegistry returns an empty single-flight registry.
+func NewRegistry() *Registry {
+	return &Registry{calls: make(map[Fingerprint]*Call)}
+}
+
+// Join registers interest in fp. leader is true when this caller must
+// execute the plan and later call Complete; otherwise the returned Call
+// is the in-flight leader's, to Wait on. A nil registry always elects
+// the caller leader with a nil Call (Complete on it is a no-op).
+func (r *Registry) Join(fp Fingerprint) (c *Call, leader bool) {
+	if r == nil {
+		return nil, true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.calls[fp]; ok {
+		r.stats.Followers++
+		return c, false
+	}
+	c = &Call{done: make(chan struct{})}
+	r.calls[fp] = c
+	r.stats.Leaders++
+	return c, true
+}
+
+// Complete publishes the leader's outcome for fp and releases the
+// fingerprint so later queries start a fresh flight. A failed leader
+// (err != nil) publishes no result; its followers fall back to cold
+// execution. digest is the result's content hash, recorded so followers
+// can verify what they were handed.
+func (r *Registry) Complete(fp Fingerprint, c *Call, table *storage.Table, digest uint64, err error) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.calls[fp] == c {
+		delete(r.calls, fp)
+	}
+	r.mu.Unlock()
+	c.table = table
+	c.digest = digest
+	c.err = err
+	close(c.done)
+}
+
+// Wait blocks until the leader Completes or ctx is done. shared is true
+// only when the leader succeeded and the result's digest still matches —
+// the caller may book the table as its own answer. On shared=false the
+// caller must execute cold (checking ctx.Err() first).
+func (r *Registry) Wait(ctx context.Context, c *Call) (table *storage.Table, shared bool) {
+	if c == nil {
+		return nil, false
+	}
+	select {
+	case <-ctx.Done():
+		return nil, false
+	case <-c.done:
+	}
+	if c.err != nil || c.table == nil || storage.ChecksumData(c.table) != c.digest {
+		if r != nil {
+			r.mu.Lock()
+			r.stats.Fallbacks++
+			r.mu.Unlock()
+		}
+		return nil, false
+	}
+	if r != nil {
+		r.mu.Lock()
+		r.stats.Shared++
+		r.mu.Unlock()
+	}
+	return c.table, true
+}
+
+// Stats returns a snapshot of single-flight counters.
+func (r *Registry) Stats() FlightStats {
+	if r == nil {
+		return FlightStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

@@ -475,6 +475,9 @@ func (s *System) quarantineView(name string, set *views.Set) {
 	}
 	s.tomb[name] = true
 	s.metrics.Quarantined++
+	// The quarantined view's bytes may back cached results computed while
+	// it was live: drop every reuse-cache entry.
+	s.invalidateReuse()
 }
 
 // tombstoned reports whether the name is quarantine-tombstoned. Called

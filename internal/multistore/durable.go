@@ -184,13 +184,20 @@ func (s *System) quarantineStale() {
 		}
 		return log.Generation, true
 	}
+	quarantined := false
 	for _, set := range []*views.Set{s.hv.Views, s.dw.Views} {
 		for _, v := range set.All() {
 			if v.Stale(gen) {
 				set.Remove(v.Name)
 				s.metrics.Quarantined++
+				quarantined = true
 			}
 		}
+	}
+	if quarantined {
+		// Results computed while the stale views were live may carry their
+		// bytes: drop every cached entry.
+		s.invalidateReuse()
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"miso/internal/history"
 	"miso/internal/hv"
 	"miso/internal/logical"
+	"miso/internal/mqo"
 	"miso/internal/optimizer"
 	"miso/internal/stats"
 	"miso/internal/storage"
@@ -125,6 +126,13 @@ type Config struct {
 	// disables the pool. With both fields zero no ledger is attached and
 	// execution is byte-identical to a system with no memory governance.
 	MemPoolBytes int64
+
+	// Reuse enables the cross-query reuse plane: single-flight
+	// piggybacking of identical concurrent queries and the content-hashed
+	// semantic result/subresult cache (see ReuseConfig). Disabled runs
+	// take the exact pre-reuse code path: results and StateDigest are
+	// byte-identical to a system without the plane.
+	Reuse ReuseConfig
 }
 
 // DefaultConfig returns the paper's setup for the given variant; view
@@ -220,6 +228,19 @@ type Metrics struct {
 	AuditViolations int
 	AuditRepaired   int
 	AuditUnrepaired int
+	// The reuse-plane counters below depend on concurrent arrival timing
+	// (who rendezvouses with whom) and cache residency, so — like the
+	// hedge and audit counters — all four are excluded from StateDigest:
+	// a reuse-disabled run stays byte-identical to a system with no reuse
+	// plane at all. CacheHits counts queries answered from the semantic
+	// cache; CacheMisses counts fingerprintable queries that executed
+	// cold (including cut-level subresult probes); Piggybacked counts
+	// queries that shared a concurrent leader's in-flight execution;
+	// SubplanHits counts HV cuts answered from cached subresults.
+	CacheHits   int
+	CacheMisses int
+	Piggybacked int
+	SubplanHits int
 }
 
 // TTI returns the total time-to-insight.
@@ -258,6 +279,14 @@ type QueryReport struct {
 	// excluded from StateDigest and the durability journal, since whether
 	// the hedge timer beat the DW verdict depends on real time.
 	HedgeWon bool
+	// CacheHit marks a query answered from the semantic result cache;
+	// Piggybacked marks one that shared a concurrent identical query's
+	// in-flight execution; SubplanHits counts HV cuts answered from
+	// cached subresults. All three are reuse-plane observability and, like
+	// HedgeWon, excluded from StateDigest and the durability journal.
+	CacheHit    bool
+	Piggybacked bool
+	SubplanHits int
 
 	// HVOps / DWOps count plan operators executed in each store.
 	HVOps, DWOps int
@@ -337,6 +366,10 @@ type System struct {
 	tomb map[string]bool
 	// rotLog names the views corrupted by SiteViewRot, in injection order.
 	rotLog []string
+
+	// reuse is the cross-query reuse plane (nil when Config.Reuse is
+	// disabled — every reuse touchpoint is then a single nil check).
+	reuse *reusePlane
 }
 
 // ReorgRecord summarizes one reorganization phase.
@@ -423,6 +456,19 @@ func New(cfg Config, cat *storage.Catalog) *System {
 	h.SetCaptureVeto(func(name string) bool {
 		return d.Views.Has(name) || s.tombstoned(name)
 	})
+	if cfg.Reuse.Enabled {
+		s.reuse = newReusePlane(cfg.Reuse, s)
+		// Costing sees the cache: a cut whose subresult is resident costs
+		// no HV time, steering plan choice toward reuse. The probe reads
+		// only mutex-guarded reuse state, keeping EnumeratePlans safe for
+		// the tuner's concurrent what-if workers; the cache is cleared at
+		// reorg start, so tuning itself probes an empty cache and stays
+		// deterministic.
+		opt.ReuseProbe = func(n *logical.Node) bool {
+			fp, ok := s.cutFingerprint(n)
+			return ok && s.reuse.cache.Contains(fp)
+		}
+	}
 	if cfg.CheckpointEvery > 0 {
 		s.dur = durability.NewManager(cfg.CheckpointEvery, durability.NewWAL(inj))
 		// Boot checkpoint: recovery always has a base state to replay over.
@@ -570,9 +616,27 @@ func (s *System) Run(sql string) (*QueryReport, error) {
 // MemAborted) and queries felled by a contained worker panic (error wraps
 // govern.ErrInternal, counted in PanicsContained). With a background
 // context and no memory limits, RunContext is byte-identical to Run.
+//
+// With the reuse plane enabled (Config.Reuse), a query may instead be
+// answered by piggybacking on a concurrent identical query's in-flight
+// execution or from the semantic result cache; both paths book a
+// zero-cost report whose result table is digest-verified against cold
+// execution. A cache hit never triggers a reorganization — it touches
+// neither store — so tuned variants reorganize on misses and via
+// Reorganize.
 func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, error) {
+	if s.reuse != nil {
+		return s.runShared(ctx, sql)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.runLocked(ctx, sql)
+}
+
+// runLocked is the serialized query path (callers hold s.mu): the exact
+// pre-reuse RunContext flow, with the semantic cache consulted after plan
+// build and populated after successful execution when the plane is on.
+func (s *System) runLocked(ctx context.Context, sql string) (*QueryReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("multistore: query not started: %w", err)
 	}
@@ -590,10 +654,38 @@ func (s *System) RunContext(ctx context.Context, sql string) (*QueryReport, erro
 		return nil, fmt.Errorf("multistore: query %d: %w", entry.Seq, faults.Crash(faults.SiteCrashServe))
 	}
 
+	var fp mqo.Fingerprint
+	var fpOK bool
+	if s.reuse != nil {
+		if fp, fpOK = s.fingerprintLocked(plan); fpOK {
+			if t, ok := s.reuse.cache.Get(fp); ok {
+				s.metrics.CacheHits++
+				return s.bookLocked(entry, &QueryReport{
+					Seq: entry.Seq, SQL: sql,
+					CacheHit:   true,
+					ResultRows: t.NumRows(),
+					Result:     t,
+				})
+			}
+		}
+		s.metrics.CacheMisses++
+	}
+
 	rep, err := s.runVariant(ctx, entry)
 	if err != nil {
 		return nil, err
 	}
+	if fpOK && rep.Result != nil {
+		// Chain boundary: the finished query's materialized answer enters
+		// the cache under the fingerprint computed before execution.
+		s.reuse.cache.Put(fp, rep.Result)
+	}
+	return s.bookLocked(entry, rep)
+}
+
+// bookLocked commits a completed query into the window, sequence,
+// metrics, report log, and durability journal. Callers hold s.mu.
+func (s *System) bookLocked(entry history.Entry, rep *QueryReport) (*QueryReport, error) {
 	s.window.Add(entry)
 	s.seq++
 	s.metrics.Queries++
@@ -657,14 +749,7 @@ func (s *System) RunDegraded(ctx context.Context, sql string) (*QueryReport, err
 	s.metrics.HVExe += res.Seconds
 	s.addRecovery(res.RecoverySeconds, res.Retries)
 	s.metrics.Degraded++
-	s.window.Add(entry)
-	s.seq++
-	s.metrics.Queries++
-	s.reports = append(s.reports, rep)
-	if err := s.endOp(queryDoneRecord(rep)); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return s.bookLocked(entry, rep)
 }
 
 // isCtxErr reports whether err stems from context cancellation or an

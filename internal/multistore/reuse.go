@@ -1,0 +1,262 @@
+package multistore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"miso/internal/history"
+	"miso/internal/logical"
+	"miso/internal/mqo"
+	"miso/internal/storage"
+)
+
+// ReuseConfig configures the cross-query reuse plane: single-flight
+// piggybacking of identical concurrent queries plus the content-hashed
+// semantic result/subresult cache. The zero value disables the plane
+// entirely — a disabled system takes the exact pre-reuse code path, so
+// its results, metrics, and StateDigest are byte-identical to a build
+// without the plane.
+type ReuseConfig struct {
+	// Enabled turns on both layers: the in-flight registry (concurrent
+	// queries with identical canonical plans over identical log content
+	// share one execution) and the semantic cache (repeated plans are
+	// answered from digest-verified materializations).
+	Enabled bool
+	// CacheBytes bounds the semantic cache's materialized results;
+	// admission charges the system memory pool when one is configured.
+	// Zero means DefaultCacheBytes.
+	CacheBytes int64
+}
+
+// DefaultCacheBytes is the semantic cache bound when ReuseConfig.Enabled
+// is set with CacheBytes zero.
+const DefaultCacheBytes int64 = 64 << 20
+
+// ReuseStats snapshots both reuse layers.
+type ReuseStats struct {
+	Cache  mqo.CacheStats
+	Flight mqo.FlightStats
+}
+
+// errLeaderFailed is what followers of a failed single-flight leader
+// observe internally; they never share it — each falls back to its own
+// cold execution.
+var errLeaderFailed = errors.New("multistore: reuse leader failed")
+
+// reusePlane is the per-System reuse state. It doubles as the
+// mqo.VersionSource: log content versions are mirrored here (seeded at
+// construction, maintained by every catalog mutation under s.mu) so the
+// lock-free fingerprint path never reads catalog fields that queries
+// mutate — fingerprinting must run outside s.mu or followers could never
+// overlap a leader's execution.
+type reusePlane struct {
+	flight *mqo.Registry
+	cache  *mqo.Cache
+
+	verMu sync.RWMutex
+	vers  map[string]logVersion
+}
+
+type logVersion struct{ gen, lines int }
+
+// LogVersion implements mqo.VersionSource.
+func (p *reusePlane) LogVersion(name string) (gen, lines int, ok bool) {
+	p.verMu.RLock()
+	defer p.verMu.RUnlock()
+	v, ok := p.vers[name]
+	return v.gen, v.lines, ok
+}
+
+// newReusePlane builds the plane and seeds the version mirror from the
+// catalog's current logs.
+func newReusePlane(cfg ReuseConfig, s *System) *reusePlane {
+	capBytes := cfg.CacheBytes
+	if capBytes <= 0 {
+		capBytes = DefaultCacheBytes
+	}
+	p := &reusePlane{
+		flight: mqo.NewRegistry(),
+		cache:  mqo.NewCache(capBytes, s.memPool),
+		vers:   make(map[string]logVersion),
+	}
+	for _, name := range s.cat.LogNames() {
+		if log, err := s.cat.Log(name); err == nil {
+			p.vers[name] = logVersion{gen: log.Generation, lines: log.NumLines()}
+		}
+	}
+	return p
+}
+
+// syncLogVersion refreshes the version mirror for one log. Callers hold
+// s.mu (the same critical section that mutated the log), so fingerprints
+// computed outside the lock always see a consistent (gen, lines) pair.
+func (s *System) syncLogVersion(name string) {
+	if s.reuse == nil {
+		return
+	}
+	log, err := s.cat.Log(name)
+	if err != nil {
+		return
+	}
+	s.reuse.verMu.Lock()
+	s.reuse.vers[name] = logVersion{gen: log.Generation, lines: log.NumLines()}
+	s.reuse.verMu.Unlock()
+}
+
+// invalidateReuse drops every cached result and subresult. Callers hold
+// s.mu. It fires on every trigger that can change what a fingerprinted
+// plan should answer or taint what a cached entry holds: log appends and
+// generation bumps, the start of a reorganization (which also keeps the
+// tuner's what-if probing deterministic — the optimizer's reuse probe is
+// all-false while it runs), stale-view quarantine, and audit quarantine
+// of corrupt views whose bytes may have flowed into cached results.
+func (s *System) invalidateReuse() {
+	if s.reuse == nil {
+		return
+	}
+	s.reuse.cache.Clear()
+}
+
+// InvalidateReuse is the drain-barrier invalidation hook: the serving
+// layer calls it with the write gate held (no query in flight) before an
+// online reorganization, and operators may call it any time. A system
+// without the reuse plane ignores it.
+func (s *System) InvalidateReuse() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidateReuse()
+}
+
+// ReuseStats snapshots the reuse plane's cache and single-flight
+// counters; zero when the plane is disabled.
+func (s *System) ReuseStats() ReuseStats {
+	if s.reuse == nil {
+		return ReuseStats{}
+	}
+	return ReuseStats{
+		Cache:  s.reuse.cache.Stats(),
+		Flight: s.reuse.flight.Stats(),
+	}
+}
+
+// fingerprintLocked computes the canonical reuse fingerprint of a built
+// plan: Normalize collapses adjacent filters and identity projections so
+// syntactic variants of the same query coincide, then mqo.HashPlan folds
+// the structural signature with every scanned log's content version.
+func (s *System) fingerprintLocked(plan *logical.Node) (mqo.Fingerprint, bool) {
+	if s.reuse == nil {
+		return 0, false
+	}
+	canon := logical.Normalize(plan)
+	return mqo.HashPlan(canon, s.reuse)
+}
+
+// cutFingerprint fingerprints a cut's base-data definition, expanding any
+// views it reads down to raw log scans — so a cut over a view and the
+// equivalent cut over raw logs share one subresult entry.
+func (s *System) cutFingerprint(n *logical.Node) (mqo.Fingerprint, bool) {
+	if s.reuse == nil {
+		return 0, false
+	}
+	def := s.hv.ExpandViews(n)
+	if def == nil {
+		return 0, false
+	}
+	return mqo.HashPlan(def, s.reuse)
+}
+
+// runShared is RunContext with the reuse plane enabled. The fingerprint
+// is computed outside s.mu (against the version mirror) so concurrent
+// identical queries can rendezvous while the leader executes:
+//
+//	leader:    joins the flight, runs the normal locked path (which
+//	           consults and populates the semantic cache), publishes its
+//	           result table to the flight.
+//	follower:  waits on the leader's call and books the shared table as a
+//	           piggybacked zero-cost report; if the leader failed — or the
+//	           published digest no longer verifies — it falls back to its
+//	           own cold locked execution.
+//
+// A follower that joined before a concurrent catalog mutation may be
+// handed a result computed just after it; that is the usual single-flight
+// linearization (the query orders after the mutation) and every handed
+// table is digest-verified against what the leader published.
+func (s *System) runShared(ctx context.Context, sql string) (*QueryReport, error) {
+	fp, ok := s.fingerprintSQL(sql)
+	if !ok {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.runLocked(ctx, sql)
+	}
+	call, leader := s.reuse.flight.Join(fp)
+	if !leader {
+		if t, shared := s.reuse.flight.Wait(ctx, call); shared {
+			return s.bookPiggyback(ctx, sql, t)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("multistore: query not started: %w", err)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.runLocked(ctx, sql)
+	}
+	var rep *QueryReport
+	var err error
+	defer func() {
+		if err == nil && rep != nil && rep.Result != nil {
+			s.reuse.flight.Complete(fp, call, rep.Result, storage.ChecksumData(rep.Result), nil)
+			return
+		}
+		cause := err
+		if cause == nil {
+			cause = errLeaderFailed
+		}
+		s.reuse.flight.Complete(fp, call, nil, 0, cause)
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err = s.runLocked(ctx, sql)
+	return rep, err
+}
+
+// fingerprintSQL builds and fingerprints sql without holding s.mu. Plan
+// building reads only construction-time catalog state (schemas, names),
+// never the mutable log content — content versions come from the mirror.
+func (s *System) fingerprintSQL(sql string) (mqo.Fingerprint, bool) {
+	if s.reuse == nil {
+		return 0, false
+	}
+	plan, err := s.builder.BuildSQL(sql)
+	if err != nil {
+		return 0, false // the locked path will report the build error
+	}
+	return s.fingerprintLocked(plan)
+}
+
+// bookPiggyback books a follower's shared result as a completed query:
+// full bookkeeping (window, sequence, report, durability record), zero
+// simulated cost — the leader already paid for the execution — and no
+// fault-site draws, since no store work happens.
+func (s *System) bookPiggyback(ctx context.Context, sql string, t *storage.Table) (*QueryReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("multistore: query not started: %w", err)
+	}
+	s.beginOp()
+	plan, err := s.builder.BuildSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	entry := history.Entry{Seq: s.seq, SQL: sql, Plan: plan}
+	rep := &QueryReport{
+		Seq: entry.Seq, SQL: sql,
+		Piggybacked: true,
+		ResultRows:  t.NumRows(),
+		Result:      t,
+	}
+	s.metrics.Piggybacked++
+	return s.bookLocked(entry, rep)
+}

@@ -63,6 +63,11 @@ func (s *System) appendLocked(name string, lines []string) (dropped int, err err
 	s.est.InvalidateMatching(func(sig string) bool {
 		return strings.Contains(sig, "scan("+name+")")
 	})
+	// The log's content version advanced: refresh the reuse plane's
+	// version mirror (fingerprints over the new content differ, making old
+	// entries unreachable) and drop the cached results outright.
+	s.syncLogVersion(name)
+	s.invalidateReuse()
 	return dropped, nil
 }
 
@@ -77,6 +82,10 @@ func (s *System) RefreshLog(name string, lines []string) (dropped int, err error
 		return 0, err
 	}
 	log.Reset()
+	// The generation bump alone invalidates cached fingerprints even when
+	// the refresh carries no lines (appendLocked returns early then).
+	s.syncLogVersion(name)
+	s.invalidateReuse()
 	dropped, err = s.appendLocked(name, lines)
 	if err != nil {
 		return dropped, fmt.Errorf("multistore: refresh %q: %w", name, err)

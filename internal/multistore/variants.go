@@ -145,19 +145,41 @@ func (s *System) runMultistore(ctx context.Context, e history.Entry, d optimizer
 			continue // answered directly from a DW-resident view
 		}
 		bypassed = false
-		res, err := s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
-		if err != nil {
-			if isAbortErr(err) {
-				return nil, s.abandon(err, rep, e.Seq)
+		// Subresult reuse: a cut whose base-data definition is resident in
+		// the semantic cache skips HV execution entirely — the migrated
+		// working set comes from the digest-verified cached table at zero
+		// HV cost. The transfer and staging below still run: the working
+		// set must still reach DW temp space either way.
+		cfp, cok := s.cutFingerprint(cut.Node)
+		var res *hv.Result
+		if cok {
+			if t, ok := s.reuse.cache.Get(cfp); ok {
+				res = &hv.Result{Table: t}
+				rep.SubplanHits++
+				s.metrics.SubplanHits++
 			}
-			return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
 		}
-		rep.HVSeconds += res.Seconds
-		rep.RecoverySeconds += res.RecoverySeconds
-		rep.Retries += res.Retries
-		rep.HVOps += countOps(cut.HVPlan)
-		rep.NewViews += len(res.NewViews)
-		rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
+		if res == nil {
+			var err error
+			res, err = s.hv.ExecuteContext(ctx, cut.HVPlan, e.Seq)
+			if err != nil {
+				if isAbortErr(err) {
+					return nil, s.abandon(err, rep, e.Seq)
+				}
+				return nil, fmt.Errorf("multistore: query %d in HV: %w", e.Seq, err)
+			}
+			rep.HVSeconds += res.Seconds
+			rep.RecoverySeconds += res.RecoverySeconds
+			rep.Retries += res.Retries
+			rep.HVOps += countOps(cut.HVPlan)
+			rep.NewViews += len(res.NewViews)
+			rep.UsedViews = append(rep.UsedViews, s.markUsedViews(cut.HVPlan, e.Seq)...)
+			if cok {
+				// Chain boundary: the freshly computed working set becomes
+				// a cached subresult for later cuts and queries.
+				s.reuse.cache.Put(cfp, res.Table)
+			}
+		}
 
 		// Deadline checkpoint before committing to the transfer: an
 		// abandoned query must not consume injector draws the sequential
@@ -504,6 +526,10 @@ func (s *System) runMSLru(ctx context.Context, e history.Entry) (*QueryReport, e
 // consumption is refunded, and Vh ∩ Vd = ∅ holds no matter which moves
 // fail. Time lost to failed moves is charged to RECOVERY, not TUNE.
 func (s *System) reorg(w *history.Window) error {
+	// Invalidate the reuse cache before tuning: the phase is about to
+	// rearrange the physical design, and the tuner's what-if costing must
+	// probe an empty cache to stay deterministic.
+	s.invalidateReuse()
 	if err := s.journal(&durability.Record{Kind: durability.KindReorgBegin, Seq: int64(s.seq)}); err != nil {
 		return err
 	}

@@ -118,6 +118,13 @@ type Optimizer struct {
 	// DisableSplits restricts planning to HV-only execution (used by the
 	// HV-ONLY and HV-OP system variants).
 	DisableSplits bool
+	// ReuseProbe, when set, reports whether the cross-query reuse cache
+	// holds the materialized subresult for a cut subtree; such a cut then
+	// charges no HV execution cost, steering plan choice toward cached
+	// work. The probe must be safe for concurrent calls (EnumeratePlans
+	// runs under the tuner's parallel what-if workers) and must not
+	// mutate optimizer state; costing with a nil probe is unchanged.
+	ReuseProbe func(*logical.Node) bool
 }
 
 // New creates an optimizer over the two stores.
@@ -286,7 +293,9 @@ func (o *Optimizer) buildPlan(raw *logical.Node, frontier []*logical.Node, d Des
 			overlay["viewscan("+cut.TempName+")"] = ce.st
 		}
 		replace[cutNode] = logical.NewViewScan(cut.TempName, cutNode.Schema())
-		plan.EstHV += ce.hvCost
+		if o.ReuseProbe == nil || !o.ReuseProbe(cutNode) {
+			plan.EstHV += ce.hvCost
+		}
 		plan.EstTransfer += ce.xfer
 		plan.Cuts = append(plan.Cuts, cut)
 	}

@@ -184,7 +184,7 @@ type Server struct {
 	// read, Reorganize holds it for write.
 	gate sync.RWMutex
 
-	mu        sync.Mutex // guards closed, metrics, inflight, nextID, cancelLat, quo, tstats
+	mu        sync.Mutex // guards closed, metrics, inflight, nextID, cancelLat, quo, tstats, reorgHook
 	closed    bool
 	metrics   Metrics
 	inflight  map[int]context.CancelFunc
@@ -192,6 +192,7 @@ type Server struct {
 	cancelLat []time.Duration
 	quo       *quotas
 	tstats    map[string]*TenantStats
+	reorgHook func()
 }
 
 // NewServer starts the worker pool over the backend.
@@ -404,11 +405,29 @@ func (s *Server) Reorganize() error {
 	}
 	defer s.gate.Unlock()
 
+	s.mu.Lock()
+	hook := s.reorgHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 	err := s.backend.Reorganize()
 	s.mu.Lock()
 	s.metrics.Reorgs++
 	s.mu.Unlock()
 	return err
+}
+
+// SetReorgHook registers fn to run inside the drain barrier — write gate
+// held, no query in flight — immediately before every online
+// reorganization. The reuse plane registers its cache invalidation here:
+// clearing between the drain and the design change means no in-flight
+// query can repopulate the cache with pre-reorg results. A nil fn clears
+// the hook.
+func (s *Server) SetReorgHook(fn func()) {
+	s.mu.Lock()
+	s.reorgHook = fn
+	s.mu.Unlock()
 }
 
 // Quiesce registers background work (the integrity scrubber) with the

@@ -18,6 +18,28 @@ func ChecksumTable(t *Table) uint64 {
 	}
 	h.Write([]byte(t.Name))
 	h.Write([]byte{0})
+	checksumBody(h, t)
+	return h.Sum64()
+}
+
+// ChecksumData is ChecksumTable without the table name: a fingerprint of
+// the answer itself (schema and rows) independent of the physical plan
+// that produced it. Result-table names embed the chosen plan shape —
+// which views were substituted — so two semantically identical answers
+// computed before and after opportunistic view capture carry different
+// names. The reuse plane keys correctness on what the user receives, so
+// its digests use this form; artifact integrity (views, transfers) keeps
+// using ChecksumTable, where the name is part of the artifact.
+func ChecksumData(t *Table) uint64 {
+	h := fnv.New64a()
+	if t == nil {
+		return h.Sum64()
+	}
+	checksumBody(h, t)
+	return h.Sum64()
+}
+
+func checksumBody(h interface{ Write([]byte) (int, error) }, t *Table) {
 	if t.Schema != nil {
 		for _, col := range t.Schema.Columns {
 			h.Write([]byte(col.Name))
@@ -31,7 +53,6 @@ func ChecksumTable(t *Table) uint64 {
 		}
 		h.Write([]byte{0xfe})
 	}
-	return h.Sum64()
 }
 
 func writeChecksumValue(h interface{ Write([]byte) (int, error) }, v Value) {

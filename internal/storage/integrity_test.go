@@ -93,3 +93,30 @@ func TestChecksumSeparatorsPreventSmearing(t *testing.T) {
 		t.Error("column position smearing")
 	}
 }
+
+// TestChecksumDataIgnoresNameOnly: ChecksumData fingerprints the answer
+// (schema + rows) independent of the physical-plan-derived table name,
+// but remains exactly as sensitive as ChecksumTable to everything else.
+func TestChecksumDataIgnoresNameOnly(t *testing.T) {
+	a := checksumFixture(t)
+	b := checksumFixture(t)
+	b.Name = "renamed_by_a_different_plan"
+	if ChecksumTable(a) == ChecksumTable(b) {
+		t.Fatal("ChecksumTable must fold the name")
+	}
+	if ChecksumData(a) != ChecksumData(b) {
+		t.Fatal("ChecksumData must not fold the name")
+	}
+	b.Rows[1][0] = IntValue(99)
+	if ChecksumData(a) == ChecksumData(b) {
+		t.Fatal("ChecksumData missed a data flip")
+	}
+	c := checksumFixture(t)
+	c.Schema.Columns[0].Name = "idx"
+	if ChecksumData(a) == ChecksumData(c) {
+		t.Fatal("ChecksumData missed a schema change")
+	}
+	if ChecksumData(nil) != ChecksumData(nil) {
+		t.Fatal("nil checksum not deterministic")
+	}
+}

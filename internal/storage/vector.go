@@ -406,6 +406,54 @@ func (v *Vector) HashChainInto(hs []uint64) {
 	}
 }
 
+// CompareAt orders elements i and j exactly as Compare(v.Value(i),
+// v.Value(j)) would — NULL first, ints through their float64 image
+// (preserving Compare's documented precision limit beyond 2^53), floats
+// numerically, strings lexicographically — without reconstructing Values.
+// It is the vectorized Sort comparator's per-column kernel; orderings are
+// digest-identical to the serial row comparator by construction.
+func (v *Vector) CompareAt(i, j int) int {
+	if v.generic {
+		return Compare(v.Vals[i], v.Vals[j])
+	}
+	if v.anyNull {
+		ni, nj := v.NullAt(i), v.NullAt(j)
+		switch {
+		case ni && nj:
+			return 0
+		case ni:
+			return -1
+		case nj:
+			return 1
+		}
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		af, bf := float64(v.Ints[i]), float64(v.Ints[j])
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+	case KindFloat:
+		switch {
+		case v.Floats[i] < v.Floats[j]:
+			return -1
+		case v.Floats[i] > v.Floats[j]:
+			return 1
+		}
+	case KindString:
+		switch {
+		case v.Strs[i] < v.Strs[j]:
+			return -1
+		case v.Strs[i] > v.Strs[j]:
+			return 1
+		}
+	}
+	return 0
+}
+
 // NullsInto clears ok[i] for every NULL element; non-NULL elements leave
 // ok[i] untouched. The join hash phase uses it to mark rows whose key
 // contains a NULL (NULL keys never match).

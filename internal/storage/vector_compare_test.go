@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestVectorCompareAtMatchesCompare is the digest-identity property behind
+// the vectorized Sort comparator: for any column content — typed, with
+// nulls, degraded to generic by mixed kinds, including NaN, -0, and ints
+// beyond 2^53 — CompareAt(i, j) must equal Compare(Value(i), Value(j)).
+func TestVectorCompareAtMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pools := map[string][]Value{
+		"int": {
+			IntValue(0), IntValue(1), IntValue(-5), IntValue(1 << 60),
+			IntValue((1 << 60) + 1), // collapses onto 1<<60 in float64: must compare equal
+			IntValue(math.MaxInt64), IntValue(math.MinInt64), Null,
+		},
+		"float": {
+			FloatValue(0), FloatValue(math.Copysign(0, -1)), FloatValue(1.5),
+			FloatValue(-2.25), FloatValue(math.NaN()), FloatValue(math.Inf(1)), Null,
+		},
+		"string": {
+			StringValue(""), StringValue("a"), StringValue("ab"), StringValue("b"), Null,
+		},
+		"bool": {
+			BoolValue(true), BoolValue(false), Null,
+		},
+		"mixed": {
+			IntValue(3), FloatValue(3), FloatValue(2.5), StringValue("x"),
+			BoolValue(true), Null,
+		},
+	}
+	kinds := map[string]Kind{
+		"int": KindInt, "float": KindFloat, "string": KindString,
+		"bool": KindBool, "mixed": KindInt,
+	}
+	for name, pool := range pools {
+		v := NewVector(kinds[name])
+		const n = 64
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = pool[rng.Intn(len(pool))]
+			v.Append(vals[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := Compare(vals[i], vals[j])
+				if got := v.CompareAt(i, j); got != want {
+					t.Fatalf("%s: CompareAt(%d,%d) over %v vs %v = %d, want %d (generic=%v)",
+						name, i, j, vals[i], vals[j], got, want, v.Generic())
+				}
+				// CompareAt must also agree with reconstructed values.
+				if got, want2 := v.CompareAt(i, j), Compare(v.Value(i), v.Value(j)); got != want2 {
+					t.Fatalf("%s: CompareAt disagrees with Value reconstruction at (%d,%d)", name, i, j)
+				}
+			}
+		}
+	}
+}

@@ -145,6 +145,17 @@ type AdaptiveConfig = serve.AdaptiveConfig
 // the zero value disables it.
 type HedgeConfig = multistore.HedgeConfig
 
+// ReuseConfig enables the cross-query reuse plane inside Config
+// (Config.Reuse): the content-fingerprinted semantic result cache and
+// the single-flight registry that lets concurrent identical queries
+// piggyback on one execution. The zero value disables the plane and is
+// byte-identical to a build without it.
+type ReuseConfig = multistore.ReuseConfig
+
+// ReuseStats is a point-in-time snapshot of the reuse plane's cache and
+// in-flight registry counters (System.ReuseStats).
+type ReuseStats = multistore.ReuseStats
+
 // Server is the concurrent query-serving frontend: a bounded worker pool
 // with admission control, per-query deadlines, a DW circuit breaker that
 // degrades to HV-only service, and drain-barrier online reorganization.
